@@ -1,0 +1,80 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation section (plus the DESIGN.md ablations) as aligned text
+// tables, ASCII plots and optional CSV files.
+//
+// Examples:
+//
+//	figures                       # every experiment at the default scale
+//	figures -exp figure1          # one experiment
+//	figures -quick                # bench-sized grids (seconds, not minutes)
+//	figures -exp figure2 -sizes 200000 -reps 5
+//	figures -csv out/             # also write out/<id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gossip"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "all", "experiment id or 'all' ("+strings.Join(gossip.ExperimentIDs(), ", ")+")")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		reps     = flag.Int("reps", 0, "repetitions per point (0 = experiment default)")
+		quick    = flag.Bool("quick", false, "reduced grids (smoke-test scale)")
+		sizes    = flag.String("sizes", "", "comma-separated graph sizes (override)")
+		failures = flag.String("failures", "", "comma-separated failure counts (figures 2/3/5)")
+		csvDir   = flag.String("csv", "", "also write <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	cfg := gossip.ExperimentConfig{
+		Seed:     *seed,
+		Reps:     *reps,
+		Quick:    *quick,
+		Sizes:    parseInts(*sizes),
+		Failures: parseInts(*failures),
+	}
+
+	ids := gossip.ExperimentIDs()
+	if *expID != "all" {
+		ids = []string{*expID}
+	}
+	for _, id := range ids {
+		rep, err := gossip.Experiment(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep.Render(os.Stdout)
+		if *csvDir != "" {
+			if err := rep.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s/%s.csv\n\n", *csvDir, id)
+		}
+	}
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

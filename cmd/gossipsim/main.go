@@ -1,0 +1,124 @@
+// Command gossipsim runs one gossiping simulation from the random phone
+// call model reproduction and prints its accounting.
+//
+// Examples:
+//
+//	gossipsim -algo pushpull -n 4096
+//	gossipsim -algo fast -n 16384 -reps 5
+//	gossipsim -algo memory -n 100000 -trees 3 -failures 5000
+//	gossipsim -algo memory-elect -n 8192
+//	gossipsim -algo broadcast-push -n 8192 -model regular -degree 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossip"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "pushpull", "pushpull | fast | fast-theory | memory | memory-elect | broadcast-push | broadcast-pull | broadcast-pushpull")
+		n        = flag.Int("n", 4096, "number of nodes (= number of messages)")
+		model    = flag.String("model", "er", "graph model: er (G(n, log²n/n)) | er-p | regular | powerlaw")
+		p        = flag.Float64("p", 0, "edge probability for -model er-p")
+		degree   = flag.Int("degree", 0, "degree for -model regular (0 = log²n)")
+		beta     = flag.Float64("beta", 2.5, "power-law exponent for -model powerlaw")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		reps     = flag.Int("reps", 1, "independent repetitions (seed+rep)")
+		trees    = flag.Int("trees", 1, "memory model: independent gather trees")
+		failures = flag.Int("failures", 0, "memory model: crash F random nodes before Phase II")
+		verbose  = flag.Bool("v", false, "print per-phase accounting")
+	)
+	flag.Parse()
+
+	for rep := 0; rep < *reps; rep++ {
+		s := *seed + uint64(rep)
+		g := buildGraph(*model, *n, *p, *degree, *beta, s)
+		if rep == 0 {
+			d := gossip.Degrees(g)
+			fmt.Printf("graph: n=%d edges=%d mean-degree=%.1f connected=%v\n\n",
+				g.N(), g.M(), d.Mean, gossip.IsConnected(g))
+		}
+		switch *algo {
+		case "memory":
+			if *failures > 0 {
+				params := gossip.TunedMemoryParams(*n)
+				params.Trees = *trees
+				res := gossip.RunMemoryRobustness(g, params, s, *failures)
+				fmt.Printf("robustness: failed=%d additional-lost=%d ratio=%.3f per-tree=%v\n",
+					res.Failed, res.LostAdditional, res.Ratio, res.PerTreeLost)
+				continue
+			}
+			params := gossip.TunedMemoryParams(*n)
+			params.Trees = *trees
+			report(gossip.RunMemoryGossip(g, params, s, -1), *verbose)
+		case "memory-elect":
+			params := gossip.TunedMemoryParams(*n)
+			params.Trees = *trees
+			res, le := gossip.RunMemoryGossipWithElection(g, params, gossip.DefaultLeaderParams(*n), s)
+			fmt.Printf("election: leader=%d candidates=%d aware=%d/%d\n",
+				le.Leader, le.Candidates, le.AwareCount, le.N)
+			report(res, *verbose)
+		case "pushpull":
+			report(gossip.RunPushPull(g, s, 0), *verbose)
+		case "fast":
+			report(gossip.RunFastGossip(g, gossip.TunedFastGossipParams(*n), s), *verbose)
+		case "fast-theory":
+			report(gossip.RunFastGossip(g, gossip.TheoryFastGossipParams(*n), s), *verbose)
+		case "broadcast-push", "broadcast-pull", "broadcast-pushpull":
+			mode := map[string]gossip.BroadcastMode{
+				"broadcast-push":     gossip.PushOnly,
+				"broadcast-pull":     gossip.PullOnly,
+				"broadcast-pushpull": gossip.PushAndPull,
+			}[*algo]
+			res := gossip.RunBroadcast(g, 0, mode, s, 0)
+			fmt.Printf("broadcast %-9s rounds=%-3d completed=%-5v transmissions/node=%.2f\n",
+				mode, res.Steps, res.Completed, float64(res.Transmissions)/float64(res.N))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}
+
+func buildGraph(model string, n int, p float64, degree int, beta float64, seed uint64) *gossip.Graph {
+	switch model {
+	case "er":
+		return gossip.NewPaperGraph(n, seed)
+	case "er-p":
+		if p <= 0 || p > 1 {
+			fmt.Fprintln(os.Stderr, "-model er-p requires -p in (0, 1]")
+			os.Exit(2)
+		}
+		return gossip.NewErdosRenyi(n, p, seed)
+	case "regular":
+		d := degree
+		if d <= 0 {
+			d = int(gossip.PaperEdgeProbability(n) * float64(n))
+		}
+		if n*d%2 == 1 {
+			d++
+		}
+		return gossip.NewRandomRegular(n, d, seed)
+	case "powerlaw":
+		return gossip.NewPowerLaw(n, beta, 8, seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -model %q\n", model)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func report(res *gossip.Result, verbose bool) {
+	if verbose {
+		fmt.Println(res)
+		return
+	}
+	fmt.Printf("%-14s steps=%-4d completed=%-5v msgs/node=%-7.2f packets/node=%-7.2f opened/node=%.2f\n",
+		res.Algorithm, res.Steps, res.Completed,
+		res.TransmissionsPerNode(), res.PacketsPerNode(), res.OpenedPerNode())
+}

@@ -1,0 +1,30 @@
+// Package gossip is a from-scratch Go reproduction of
+//
+//	Robert Elsässer, Dominik Kaaser:
+//	"On the Influence of Graph Density on Randomized Gossiping"
+//	(IPDPS 2015, arXiv:1410.5355)
+//
+// It implements the random phone call model (Demers et al., Karp et al.)
+// as a deterministic, parallel, synchronous-round simulator, the random
+// graph models the paper analyzes (Erdős–Rényi G(n,p) and the
+// configuration model), and the gossiping algorithms the paper studies:
+//
+//   - RunPushPull — the simple push–pull baseline (paper Algorithm 4),
+//   - RunFastGossip — the three-phase fast-gossiping algorithm for random
+//     graphs with O(log²n/loglog n) time and O(n·log n/loglog n)
+//     transmissions (paper Algorithm 1, §3),
+//   - RunMemoryGossip — the memory-model algorithm in which each node
+//     remembers up to 4 links, achieving O(log n) time and O(n)
+//     transmissions given a leader (paper Algorithm 2, §4),
+//   - RunElectLeader — the accompanying leader election (Algorithm 3),
+//   - RunBroadcast — single-message push/pull/push–pull baselines,
+//   - RunMemoryRobustness — the §5 crash-failure experiment.
+//
+// Every table and figure of the paper's evaluation can be regenerated via
+// Experiment (or the cmd/figures binary, or `go test -bench Figure`); see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results against the paper's.
+//
+// All entry points take explicit seeds and produce bit-identical results
+// for a seed, independent of GOMAXPROCS.
+package gossip

@@ -1,0 +1,46 @@
+// Density study — the question in the paper's title, run as an
+// experiment: how does graph density influence randomized gossiping?
+//
+// Sweeps the expected degree d = logᵉn over e ∈ {1.5 … 3} (the theory
+// needs Ω(log^{2+ε}n)) plus a random-regular comparison point, and prints
+// messages per node for all three algorithms, side by side with the
+// single-message broadcast baselines where density famously *does* matter
+// ([19], [34]).
+//
+//	go run ./examples/densitystudy           # default scale
+//	go run ./examples/densitystudy -quick    # smoke-test scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossip"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller grid")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	cfg := gossip.ExperimentConfig{Seed: *seed, Quick: *quick}
+
+	fmt.Println("The paper's claim: unlike broadcasting, randomized gossiping performs")
+	fmt.Println("the same on sparse random graphs as on dense ones — density does not")
+	fmt.Println("buy message complexity once d = Ω(log^{2+ε} n).")
+	fmt.Println()
+
+	for _, id := range []string{"ablation_density", "ablation_broadcast"} {
+		rep, err := gossip.Experiment(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+	}
+
+	fmt.Println("Reading the two tables together: the gossiping rows are nearly flat")
+	fmt.Println("across a 10x density range (the title result), while the broadcast")
+	fmt.Println("baselines shift with density — the separation the paper builds on.")
+}

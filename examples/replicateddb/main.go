@@ -1,0 +1,69 @@
+// Replicated database maintenance — the motivating application of the
+// random phone call model (Demers et al. PODC'87, Karp et al. FOCS'00,
+// and §1.1 of the reproduced paper).
+//
+// A cluster of replicas each accepts one local update. Anti-entropy
+// gossiping must spread every update to every replica. This example
+// compares the bandwidth bill of the three strategies, then sizes the
+// propagation delay of a single hot update (broadcast baselines), and
+// finally stress-tests durability when replicas crash mid-protocol.
+//
+//	go run ./examples/replicateddb
+package main
+
+import (
+	"fmt"
+
+	"gossip"
+)
+
+const (
+	replicas = 8192
+	seed     = 42
+)
+
+func main() {
+	// The overlay: every replica gossips with uniformly random peers, the
+	// peer sampling graph is G(n, log²n/n) — dense enough for whp
+	// connectivity and degree concentration, sparse enough that no replica
+	// tracks the full membership.
+	overlay := gossip.NewPaperGraph(replicas, seed)
+	fmt.Printf("cluster: %d replicas, peer-sampling degree ~%.0f\n\n",
+		replicas, gossip.Degrees(overlay).Mean)
+
+	fmt.Println("== anti-entropy round: one fresh update per replica ==")
+	fmt.Printf("%-22s %8s %14s %14s\n", "strategy", "rounds", "packets/node", "msgs/node")
+	pp := gossip.RunPushPull(overlay, seed, 0)
+	fg := gossip.RunFastGossip(overlay, gossip.TunedFastGossipParams(replicas), seed)
+	mm, le := gossip.RunMemoryGossipWithElection(overlay,
+		gossip.TunedMemoryParams(replicas), gossip.DefaultLeaderParams(replicas), seed)
+	for _, r := range []*gossip.Result{pp, fg, mm} {
+		if !r.Completed {
+			panic("anti-entropy did not converge: " + r.Algorithm)
+		}
+		fmt.Printf("%-22s %8d %14.2f %14.2f\n",
+			r.Algorithm, r.Steps, r.PacketsPerNode(), r.TransmissionsPerNode())
+	}
+	fmt.Printf("\ncoordinator election cost: %.2f msgs/node (leader=replica %d, %d candidates)\n\n",
+		float64(le.Meter.Transmissions)/float64(replicas), le.Leader, le.Candidates)
+
+	fmt.Println("== single hot update: propagation latency ==")
+	fmt.Printf("%-12s %8s %14s\n", "rule", "rounds", "copies/node")
+	for _, mode := range []gossip.BroadcastMode{gossip.PushOnly, gossip.PullOnly, gossip.PushAndPull} {
+		bc := gossip.RunBroadcast(overlay, 0, mode, seed, 0)
+		fmt.Printf("%-12s %8d %14.2f\n", mode, bc.Steps, float64(bc.Transmissions)/float64(replicas))
+	}
+
+	fmt.Println("\n== durability: replicas crash between collection and delivery ==")
+	fmt.Println("(memory-model gossip, 3 independent gather trees; a lost update is an")
+	fmt.Println(" update of a HEALTHY replica that reaches no tree root)")
+	fmt.Printf("%-12s %16s %10s\n", "crashed", "extra lost", "lost/crashed")
+	params := gossip.TunedMemoryParams(replicas)
+	params.Trees = 3
+	for _, f := range []int{8, 82, 820, 2048} {
+		res := gossip.RunMemoryRobustness(overlay, params, seed, f)
+		fmt.Printf("%-12d %16d %10.3f\n", res.Failed, res.LostAdditional, res.Ratio)
+	}
+	fmt.Println("\nEven with a quarter of the cluster down, healthy updates survive in")
+	fmt.Println("some tree almost always — the redundancy Theorem 3 of the paper proves.")
+}

@@ -1,0 +1,134 @@
+// Package asciiplot renders multi-series line charts as plain text, so the
+// benchmark harness and cmd/figures can show the paper's figures directly
+// in a terminal next to the CSV series they emit.
+package asciiplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points. Points need not be sorted;
+// the plot places each point independently.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Options configure a plot.
+type Options struct {
+	Width, Height int  // plot area in character cells (defaults 72×20)
+	LogX          bool // logarithmic x axis (the paper's Figures 1–4 use one)
+	Title         string
+	XLabel        string
+	YLabel        string
+	ZeroY         bool // extend the y range down to zero
+}
+
+// markers assigns one rune per series; overlapping points show the later
+// series' marker.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into w. Series with no points are legended but
+// not drawn. Degenerate ranges (single x or constant y) are padded so the
+// plot never divides by zero.
+func Render(w io.Writer, series []Series, opt Options) {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if opt.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !any {
+		fmt.Fprintln(w, opt.Title)
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if opt.ZeroY && ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if opt.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[height-1-row][col] = mk
+		}
+	}
+
+	if opt.Title != "" {
+		fmt.Fprintln(w, opt.Title)
+	}
+	yLab := opt.YLabel
+	if yLab != "" {
+		fmt.Fprintln(w, yLab)
+	}
+	for r := 0; r < height; r++ {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%9.3g |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", width))
+	lo, hi := xmin, xmax
+	xl, xr := fmt.Sprintf("%.3g", lo), fmt.Sprintf("%.3g", hi)
+	if opt.LogX {
+		xl = fmt.Sprintf("%.3g", math.Pow(10, lo))
+		xr = fmt.Sprintf("%.3g", math.Pow(10, hi))
+	}
+	pad := width - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%9s  %s%s%s", "", xl, strings.Repeat(" ", pad), xr)
+	if opt.XLabel != "" {
+		fmt.Fprintf(w, "  (%s)", opt.XLabel)
+	}
+	fmt.Fprintln(w)
+	var leg []string
+	for si, s := range series {
+		leg = append(leg, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%9s  legend: %s\n", "", strings.Join(leg, "   "))
+}

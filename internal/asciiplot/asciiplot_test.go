@@ -1,0 +1,91 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, series []Series, opt Options) string {
+	t.Helper()
+	var b strings.Builder
+	Render(&b, series, opt)
+	return b.String()
+}
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{{Name: "line", Xs: []float64{1, 2, 3}, Ys: []float64{1, 2, 3}}}
+	out := render(t, s, Options{Title: "demo", Width: 40, Height: 10})
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "legend: * line") {
+		t.Error("legend missing")
+	}
+	if len(strings.Split(out, "\n")) < 12 {
+		t.Error("plot too short")
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "a", Xs: []float64{1}, Ys: []float64{1}},
+		{Name: "b", Xs: []float64{2}, Ys: []float64{2}},
+	}
+	out := render(t, s, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("expected two distinct markers")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(t, []Series{{Name: "none"}}, Options{Title: "t"})
+	if !strings.Contains(out, "(no data)") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestRenderLogXSkipsNonPositive(t *testing.T) {
+	s := []Series{{Name: "l", Xs: []float64{0, 10, 100}, Ys: []float64{5, 5, 7}}}
+	out := render(t, s, Options{LogX: true, Width: 40, Height: 8})
+	// x axis endpoints rendered in linear units.
+	if !strings.Contains(out, "10") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate y range must not divide by zero.
+	s := []Series{{Name: "c", Xs: []float64{1, 2}, Ys: []float64{3, 3}}}
+	out := render(t, s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := []Series{{Name: "p", Xs: []float64{5}, Ys: []float64{5}}}
+	out := render(t, s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestZeroY(t *testing.T) {
+	s := []Series{{Name: "z", Xs: []float64{1, 2}, Ys: []float64{10, 12}}}
+	out := render(t, s, Options{Width: 20, Height: 5, ZeroY: true})
+	// With ZeroY the bottom axis label should be 0.
+	if !strings.Contains(out, "        0 |") {
+		t.Errorf("ZeroY bottom label missing:\n%s", out)
+	}
+}
+
+func TestXLabel(t *testing.T) {
+	s := []Series{{Name: "a", Xs: []float64{1, 2}, Ys: []float64{1, 2}}}
+	out := render(t, s, Options{Width: 20, Height: 5, XLabel: "nodes"})
+	if !strings.Contains(out, "(nodes)") {
+		t.Error("x label missing")
+	}
+}

@@ -1,0 +1,153 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixRowViews(t *testing.T) {
+	m := NewMatrix(4, 100)
+	m.Row(2).Add(17)
+	if !m.Row(2).Contains(17) {
+		t.Error("row view lost a bit")
+	}
+	if m.Row(1).Contains(17) || m.Row(3).Contains(17) {
+		t.Error("bit leaked into a neighboring row")
+	}
+	if m.TotalCount() != 1 {
+		t.Errorf("TotalCount = %d, want 1", m.TotalCount())
+	}
+}
+
+func TestMatrixRowInto(t *testing.T) {
+	m := NewMatrix(3, 70)
+	m.Row(1).Add(69)
+	var view Set
+	m.RowInto(&view, 1)
+	if !view.Contains(69) {
+		t.Error("RowInto view missing bit")
+	}
+	view.Add(5)
+	if !m.Row(1).Contains(5) {
+		t.Error("RowInto view does not share storage")
+	}
+}
+
+func TestMatrixUnionRow(t *testing.T) {
+	m := NewMatrix(3, 128)
+	m.Row(0).Add(1)
+	m.Row(0).Add(64)
+	m.Row(1).Add(64)
+	added := m.UnionRow(1, m, 0)
+	if added != 1 {
+		t.Errorf("UnionRow added = %d, want 1", added)
+	}
+	if !m.Row(1).Contains(1) || !m.Row(1).Contains(64) {
+		t.Error("UnionRow result incomplete")
+	}
+	// Self-union is a no-op.
+	if added := m.UnionRow(1, m, 1); added != 0 {
+		t.Errorf("self UnionRow added %d", added)
+	}
+}
+
+func TestMatrixUnionRowAcrossMatrices(t *testing.T) {
+	a := NewMatrix(2, 90)
+	b := NewMatrix(2, 90)
+	a.Row(0).Add(3)
+	b.Row(1).Add(89)
+	if added := b.UnionRow(1, a, 0); added != 1 {
+		t.Errorf("cross-matrix UnionRow added = %d, want 1", added)
+	}
+	if !b.Row(1).Contains(3) || !b.Row(1).Contains(89) {
+		t.Error("cross-matrix UnionRow result wrong")
+	}
+}
+
+func TestMatrixCopy(t *testing.T) {
+	a := NewMatrix(3, 64)
+	a.Row(0).Add(0)
+	a.Row(2).Add(63)
+	b := NewMatrix(3, 64)
+	b.CopyFrom(a)
+	if b.TotalCount() != 2 || !b.Row(2).Contains(63) {
+		t.Error("CopyFrom incomplete")
+	}
+	b.Row(1).Add(7)
+	if a.Row(1).Contains(7) {
+		t.Error("CopyFrom shares storage")
+	}
+}
+
+func TestMatrixCopyRows(t *testing.T) {
+	a := NewMatrix(4, 100)
+	for i := 0; i < 4; i++ {
+		a.Row(i).Add(i)
+	}
+	b := NewMatrix(4, 100)
+	b.CopyRowsFrom(a, 1, 3)
+	if b.Row(0).Any() || b.Row(3).Any() {
+		t.Error("CopyRowsFrom copied rows outside range")
+	}
+	if !b.Row(1).Contains(1) || !b.Row(2).Contains(2) {
+		t.Error("CopyRowsFrom missed rows inside range")
+	}
+}
+
+func TestMatrixUnionSet(t *testing.T) {
+	m := NewMatrix(2, 50)
+	s := FromIndices(50, 10, 20)
+	if added := m.UnionSet(0, s); added != 2 {
+		t.Errorf("UnionSet added = %d, want 2", added)
+	}
+	if !m.Row(0).Contains(10) || !m.Row(0).Contains(20) {
+		t.Error("UnionSet result wrong")
+	}
+}
+
+func TestQuickMatrixTotalCountMatchesRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(8)
+		width := 1 + r.Intn(200)
+		m := NewMatrix(rows, width)
+		var want int64
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			for j := 0; j < width; j++ {
+				if r.Intn(4) == 0 {
+					row.Add(j)
+				}
+			}
+			want += int64(row.Count())
+		}
+		return m.TotalCount() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatrixUnionRowMatchesSetUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(200)
+		m := NewMatrix(2, width)
+		for j := 0; j < width; j++ {
+			if r.Intn(3) == 0 {
+				m.Row(0).Add(j)
+			}
+			if r.Intn(3) == 0 {
+				m.Row(1).Add(j)
+			}
+		}
+		want := m.Row(1).Clone()
+		wantAdded := want.UnionWith(m.Row(0))
+		gotAdded := m.UnionRow(1, m, 0)
+		return gotAdded == wantAdded && m.Row(1).Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

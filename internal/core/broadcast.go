@@ -1,0 +1,118 @@
+package core
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/msg"
+	"gossip/internal/phone"
+)
+
+// BroadcastMode selects the transmission rule of a single-message
+// broadcast baseline.
+type BroadcastMode int
+
+const (
+	// PushOnly: informed nodes push the message to their callee.
+	PushOnly BroadcastMode = iota
+	// PullOnly: every node dials; an informed callee transmits back.
+	PullOnly
+	// PushAndPull: both rules in every step (Karp et al. style, without
+	// the termination protocol — the paper's baselines stop on global
+	// completion, which the simulator can observe).
+	PushAndPull
+)
+
+func (m BroadcastMode) String() string {
+	switch m {
+	case PushOnly:
+		return "push"
+	case PullOnly:
+		return "pull"
+	case PushAndPull:
+		return "push-pull"
+	case MemoryBroadcastMode:
+		return "memory-broadcast"
+	}
+	return "unknown"
+}
+
+// BroadcastResult reports a single-message dissemination run. These
+// baselines reproduce the context results the paper builds on: push-only
+// completes in Θ(log n) rounds with Θ(n·log n) transmissions, and the
+// broadcast communication advantage available in complete graphs is not
+// available in sparse random graphs ([19], [34]).
+type BroadcastResult struct {
+	Mode      BroadcastMode
+	N         int
+	Steps     int
+	Completed bool
+	// Transmissions counts transmissions of the message itself (the Karp
+	// et al. accounting): each push by an informed node and each pull
+	// response by an informed callee is one transmission.
+	Transmissions int64
+	// Opened counts channel openings.
+	Opened int64
+	// InformedAt[v] is the step at which v became informed (-1 if never).
+	InformedAt []int32
+}
+
+// Broadcast disseminates a single message from src over g under the given
+// mode, running until all nodes are informed or maxSteps elapses
+// (0 means 64·log n).
+func Broadcast(g *graph.Graph, src int32, mode BroadcastMode, seed uint64, maxSteps int) *BroadcastResult {
+	n := g.N()
+	if maxSteps <= 0 {
+		maxSteps = 64 * ceil(Logn(n))
+	}
+	nt := phone.NewNet(g, seed)
+	st := msg.NewSingle(n)
+	st.Inform(src, 0)
+	round := phone.NewRound(n)
+	res := &BroadcastResult{Mode: mode, N: n}
+
+	step := int32(0)
+	for int(step) < maxSteps && !st.Complete() {
+		step++
+		round.Reset()
+		nt.DialAll(round)
+		for _, u := range round.Out {
+			if u >= 0 {
+				res.Opened++
+			}
+		}
+		// Snapshot rule: only nodes informed before this step transmit.
+		informedBefore := func(v int32) bool {
+			at := st.InformedAt(v)
+			return at >= 0 && at < step
+		}
+		if mode == PushOnly || mode == PushAndPull {
+			for v := int32(0); int(v) < n; v++ {
+				u := round.Out[v]
+				if u >= 0 && informedBefore(v) && !nt.Failed[v] {
+					res.Transmissions++
+					if !nt.Failed[u] {
+						st.Inform(u, step)
+					}
+				}
+			}
+		}
+		if mode == PullOnly || mode == PushAndPull {
+			for v := int32(0); int(v) < n; v++ {
+				u := round.Out[v]
+				if u >= 0 && informedBefore(u) && !nt.Failed[u] {
+					res.Transmissions++
+					if !nt.Failed[v] {
+						st.Inform(v, step)
+					}
+				}
+			}
+		}
+		res.Steps++
+	}
+
+	res.Completed = st.Complete()
+	res.InformedAt = make([]int32, n)
+	for v := int32(0); int(v) < n; v++ {
+		res.InformedAt[v] = st.InformedAt(v)
+	}
+	return res
+}

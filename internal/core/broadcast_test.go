@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBroadcastModesComplete(t *testing.T) {
+	n := 1024
+	g := testGraph(n, 60)
+	for _, mode := range []BroadcastMode{PushOnly, PullOnly, PushAndPull} {
+		res := Broadcast(g, 0, mode, 1, 0)
+		if !res.Completed {
+			t.Errorf("%v broadcast did not complete", mode)
+		}
+		if res.InformedAt[0] != 0 {
+			t.Errorf("%v: source informed at %d", mode, res.InformedAt[0])
+		}
+		for v, at := range res.InformedAt {
+			if at < 0 {
+				t.Errorf("%v: node %d never informed", mode, v)
+			}
+		}
+	}
+}
+
+func TestBroadcastPushRoundsLogarithmic(t *testing.T) {
+	// Pittel/Feige et al.: Θ(log n) rounds.
+	for _, n := range []int{512, 2048} {
+		g := testGraph(n, uint64(n)+61)
+		res := Broadcast(g, 0, PushOnly, 2, 0)
+		if !res.Completed {
+			t.Fatalf("n=%d did not complete", n)
+		}
+		if float64(res.Steps) < Logn(n) {
+			t.Errorf("n=%d: push completed in %d < log n rounds (impossible: informed set at most doubles)", n, res.Steps)
+		}
+		if float64(res.Steps) > 6*Logn(n) {
+			t.Errorf("n=%d: push took %d rounds, > 6·log n", n, res.Steps)
+		}
+	}
+}
+
+func TestBroadcastPushPullFasterThanEither(t *testing.T) {
+	n := 2048
+	g := testGraph(n, 62)
+	avg := func(mode BroadcastMode) float64 {
+		s := 0
+		for r := uint64(0); r < 3; r++ {
+			res := Broadcast(g, 0, mode, 100+r, 0)
+			if !res.Completed {
+				t.Fatalf("%v did not complete", mode)
+			}
+			s += res.Steps
+		}
+		return float64(s) / 3
+	}
+	pp := avg(PushAndPull)
+	if push := avg(PushOnly); pp > push {
+		t.Errorf("push-pull (%v rounds) slower than push (%v)", pp, push)
+	}
+	if pull := avg(PullOnly); pp > pull {
+		t.Errorf("push-pull (%v rounds) slower than pull (%v)", pp, pull)
+	}
+}
+
+func TestBroadcastPushTransmissionsNLogN(t *testing.T) {
+	// Push-only sends Θ(n log n) message copies in total: every informed
+	// node pushes every round.
+	n := 1024
+	g := testGraph(n, 63)
+	res := Broadcast(g, 0, PushOnly, 3, 0)
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	low := float64(n) // must at least inform everyone once
+	high := 8 * float64(n) * Logn(n)
+	got := float64(res.Transmissions)
+	if got < low || got > high {
+		t.Errorf("push transmissions = %v, want within [n, 8n·log n] = [%v, %v]", got, low, high)
+	}
+}
+
+func TestBroadcastFromEverySource(t *testing.T) {
+	// Small sanity sweep: the source index must not matter structurally.
+	n := 128
+	g := testGraph(n, 64)
+	for _, src := range []int32{0, 17, 127} {
+		res := Broadcast(g, src, PushAndPull, 4, 0)
+		if !res.Completed {
+			t.Errorf("src=%d did not complete", src)
+		}
+		if res.InformedAt[src] != 0 {
+			t.Errorf("src=%d informed at %d", src, res.InformedAt[src])
+		}
+	}
+}
+
+func TestBroadcastCap(t *testing.T) {
+	g := testGraph(256, 65)
+	res := Broadcast(g, 0, PushOnly, 5, 2)
+	if res.Completed {
+		t.Error("2 rounds cannot inform 256 nodes")
+	}
+	if res.Steps != 2 {
+		t.Errorf("Steps = %d, want 2", res.Steps)
+	}
+}
+
+func TestBroadcastModeString(t *testing.T) {
+	if PushOnly.String() != "push" || PullOnly.String() != "pull" || PushAndPull.String() != "push-pull" {
+		t.Error("mode names wrong")
+	}
+	if BroadcastMode(99).String() != "unknown" {
+		t.Error("unknown mode name wrong")
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+
+	"gossip/internal/graph"
+	"gossip/internal/msg"
+	"gossip/internal/par"
+	"gossip/internal/phone"
+	"gossip/internal/walk"
+)
+
+// FastGossip runs Algorithm 1 (fast-gossiping adapted to random graphs,
+// §3): Phase I pushes every message for a short distribution stage,
+// Phase II collects and re-spreads messages with message-carrying random
+// walks over several rounds, and Phase III finishes with push–pull until
+// every node knows every message.
+func FastGossip(g *graph.Graph, p FastGossipParams, seed uint64) *Result {
+	res, _ := FastGossipTracked(g, p, seed)
+	return res
+}
+
+// FastGossipTracked is FastGossip returning the final message tracker.
+func FastGossipTracked(g *graph.Graph, p FastGossipParams, seed uint64) (*Result, *msg.Full) {
+	return FastGossipOn(phone.NewNet(g, seed), p)
+}
+
+// FastGossipOn runs Algorithm 1 on a prepared substrate, letting callers
+// inject crash failures (nt.Failed) before the run. Failed nodes never
+// dial, never forward walks and never store messages.
+func FastGossipOn(nt *phone.Net, p FastGossipParams) (*Result, *msg.Full) {
+	g := nt.G
+	n := g.N()
+	tr := msg.NewFull(n)
+	round := phone.NewRound(n)
+	res := &Result{Algorithm: "fast-gossiping", N: n, Leader: -1}
+
+	res.addPhase("distribution", fgDistribution(nt, tr, round, p))
+	res.addPhase("random-walks", fgRandomWalks(g, nt, tr, round, p))
+	res.addPhase("broadcast", fgFinalPushPull(nt, tr, round, p))
+	res.Completed = tr.Complete()
+	return res, tr
+}
+
+func countDials(round *phone.Round) int64 {
+	var dials int64
+	for _, u := range round.Out {
+		if u >= 0 {
+			dials++
+		}
+	}
+	return dials
+}
+
+// pushDeliver delivers the push direction of the current dial table into
+// the tracker, sharded by receiving node. Failed receivers store nothing
+// (the sender's transmission still happened and is metered by the caller).
+func pushDeliver(nt *phone.Net, tr *msg.Full, round *phone.Round) {
+	n := round.N()
+	tr.BeginRound()
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if nt.Failed[v] {
+				continue
+			}
+			for _, u := range round.Incoming(int32(v)) {
+				tr.Transfer(u, int32(v))
+			}
+		}
+	})
+	tr.EndRound()
+}
+
+// fgDistribution is Phase I: every node opens a channel and pushes its
+// combined message, for DistributionSteps steps.
+func fgDistribution(nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
+	var m phone.Meter
+	for t := 0; t < p.DistributionSteps; t++ {
+		round.Reset()
+		nt.DialAll(round)
+		dials := countDials(round)
+		pushDeliver(nt, tr, round)
+		m.Open(dials)
+		m.Push(dials)
+		m.Step()
+	}
+	return m
+}
+
+// fgRandomWalks is Phase II. Each round: (1) every node starts a random
+// walk with probability WalkProb by pushing its message set; (2) for
+// WalkSteps steps, arriving walks are merged into the host
+// (q_v.add(m' ∪ m_v); m_v ← m_v ∪ m') and each node forwards the head of
+// its queue; walks that exceed MaxMoves moves are stopped; (3) nodes left
+// with a non-empty queue become active and seed a BroadcastSteps-step push
+// broadcast in which receiving nodes activate; (4) everyone deactivates.
+func fgRandomWalks(g *graph.Graph, nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
+	n := g.N()
+	var m phone.Meter
+	pool := walk.NewPool(n)
+	queues := make([]walk.Queue, n)
+	arrivals := make([][]*walk.Token, n)
+	var touched []int32 // receivers with pending arrivals, in send order
+	active := make([]bool, n)
+
+	send := func(dst int32, tok *walk.Token) {
+		if len(arrivals[dst]) == 0 {
+			touched = append(touched, dst)
+		}
+		arrivals[dst] = append(arrivals[dst], tok)
+	}
+
+	// deliver processes all pending arrivals: merge into the host and
+	// enqueue, dropping over-age walks and walks arriving at failed nodes.
+	// Receivers are processed in increasing id; within a receiver, tokens
+	// arrive in increasing sender id — fully deterministic.
+	deliver := func() {
+		if len(touched) == 0 {
+			return
+		}
+		cur := touched
+		touched = nil
+		sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+		for _, v := range cur {
+			for _, tok := range arrivals[v] {
+				switch {
+				case nt.Failed[v]:
+					pool.Put(tok) // failed nodes store nothing
+				case tok.Moves <= p.MaxMoves:
+					tok.Payload.UnionWith(tr.Row(v)) // m' ∪ m_v
+					tr.MergeNow(tok.Payload, v)      // m_v ← m_v ∪ m'
+					queues[v].Add(tok)
+				default:
+					pool.Put(tok) // walk is stopped, not enqueued
+				}
+			}
+			arrivals[v] = arrivals[v][:0]
+		}
+	}
+
+	for r := 0; r < p.Rounds; r++ {
+		// Coin-flip step: start walks.
+		var dials int64
+		for v := int32(0); int(v) < n; v++ {
+			if nt.Failed[v] {
+				continue
+			}
+			rng := nt.RNG(v)
+			if rng.Bernoulli(p.WalkProb) {
+				u := g.RandomNeighbor(v, rng)
+				if u < 0 {
+					continue
+				}
+				tok := pool.Get()
+				tok.Payload.CopyFrom(tr.Row(v))
+				tok.Moves = 1
+				send(u, tok)
+				dials++
+			}
+		}
+		m.Open(dials)
+		m.Push(dials)
+		m.Step()
+
+		// Forwarding steps.
+		for t := 0; t < p.WalkSteps; t++ {
+			deliver()
+			var fdials int64
+			for v := int32(0); int(v) < n; v++ {
+				if nt.Failed[v] || queues[v].Empty() {
+					continue
+				}
+				tok := queues[v].Pop()
+				u := g.RandomNeighbor(v, nt.RNG(v))
+				if u < 0 {
+					pool.Put(tok)
+					continue
+				}
+				tok.Moves++
+				send(u, tok)
+				fdials++
+			}
+			m.Open(fdials)
+			m.Push(fdials)
+			m.Step()
+		}
+
+		// Walks pushed in the final step still arrive; then nodes holding
+		// walks become active and the remaining walks are discarded.
+		deliver()
+		for v := int32(0); int(v) < n; v++ {
+			if !queues[v].Empty() {
+				if !nt.Failed[v] {
+					active[v] = true
+				}
+				pool.PutAll(queues[v].Drain())
+			}
+		}
+
+		// Activation broadcast.
+		for t := 0; t < p.BroadcastSteps; t++ {
+			round.Reset()
+			par.For(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if active[v] {
+						nt.Dial(round, int32(v))
+					}
+				}
+			})
+			round.BuildIncoming()
+			dials := countDials(round)
+			pushDeliver(nt, tr, round)
+			for v := int32(0); int(v) < n; v++ {
+				if round.InDegree(v) > 0 && !nt.Failed[v] {
+					active[v] = true
+				}
+			}
+			m.Open(dials)
+			m.Push(dials)
+			m.Step()
+		}
+
+		// All nodes become inactive.
+		for v := range active {
+			active[v] = false
+		}
+	}
+	return m
+}
+
+// fgFinalPushPull is Phase III: plain push–pull, run to completion
+// (§5: "the last phase of each algorithm was run until the entire graph
+// was informed"), capped by Phase3MaxSteps as a disconnection guard.
+func fgFinalPushPull(nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
+	var m phone.Meter
+	for m.Steps < p.Phase3MaxSteps && !tr.Complete() {
+		round.Reset()
+		nt.DialAll(round)
+		exchangeDeliver(nt, tr, round, &m)
+		m.Step()
+	}
+	return m
+}

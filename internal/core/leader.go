@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"gossip/internal/graph"
+	"gossip/internal/phone"
+)
+
+// noID marks a node that has not yet received any candidate identifier.
+const noID = int32(math.MaxInt32)
+
+// LeaderResult reports a run of Algorithm 3.
+type LeaderResult struct {
+	// Leader is the elected node, -1 if the election failed to produce one.
+	Leader int32
+	// Candidates is the number of self-declared possible leaders.
+	Candidates int
+	// Unique reports that exactly one node believes it is the leader.
+	Unique bool
+	// AwareCount is the number of non-failed nodes whose final minimum
+	// equals the winner's ID ("all nodes are aware of the leader").
+	AwareCount int
+	// N is the number of nodes; Steps and Meter account the run.
+	N     int
+	Steps int
+	Meter phone.Meter
+}
+
+// ElectLeader runs Algorithm 3 on g: each node becomes a possible leader
+// with probability log²n/n, candidate IDs spread by open-avoid pushes for
+// PushSteps steps (receivers activate and forward the smallest ID seen),
+// then every node performs PullSteps open-avoid pulls; the candidate whose
+// ID equals its own final minimum becomes the leader.
+func ElectLeader(g *graph.Graph, p LeaderParams, seed uint64) *LeaderResult {
+	return electLeader(phone.NewNet(g, seed), p)
+}
+
+// electLeader is ElectLeader on an existing substrate (so the memory-model
+// pipeline can share one Net and keep a single seed for the whole run).
+// Node identifiers are the node indices; the elected leader is therefore
+// the minimum-index candidate, which tests verify directly.
+func electLeader(nt *phone.Net, p LeaderParams) *LeaderResult {
+	g := nt.G
+	n := g.N()
+	res := &LeaderResult{Leader: -1, N: n}
+	var m phone.Meter
+
+	avoid := p.AvoidLast
+	if avoid <= 0 || avoid > phone.MemorySlots {
+		avoid = 3
+	}
+	mem := make([]phone.LinkMemory, n)
+	for i := range mem {
+		mem[i] = phone.NewLinkMemory(avoid)
+	}
+
+	cur := make([]int32, n)  // smallest ID known at round start
+	next := make([]int32, n) // smallest ID known after this round
+	active := make([]bool, n)
+	for v := range cur {
+		cur[v] = noID
+	}
+
+	// Initial coin flips; candidates push immediately.
+	candidate := make([]bool, n)
+	for v := int32(0); int(v) < n; v++ {
+		if nt.Failed[v] {
+			continue
+		}
+		if nt.RNG(v).Bernoulli(p.CandidateProb) {
+			candidate[v] = true
+			res.Candidates++
+		}
+	}
+	if res.Candidates == 0 {
+		// The paper's regime has Θ(log²n) candidates w.h.p.; on tiny inputs
+		// the coin can miss, in which case the minimum-index node steps up
+		// so the protocol still terminates (documented deviation).
+		for v := int32(0); int(v) < n; v++ {
+			if !nt.Failed[v] {
+				candidate[v] = true
+				res.Candidates = 1
+				break
+			}
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if candidate[v] {
+			cur[v] = v
+			active[v] = true
+		}
+	}
+	copy(next, cur)
+	// pushMin performs one synchronous push step: every active node that
+	// already knows an ID at round start forwards its minimum. Nodes
+	// activated mid-step cannot push this step because their round-start
+	// minimum (cur) is still noID.
+	pushMin := func() {
+		for v := int32(0); int(v) < n; v++ {
+			if !active[v] || nt.Failed[v] || cur[v] == noID {
+				continue
+			}
+			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
+			if u < 0 {
+				continue
+			}
+			m.Open(1)
+			mem[v].Remember(u)
+			m.Push(1)
+			if nt.Failed[u] {
+				continue
+			}
+			if cur[v] < next[u] {
+				next[u] = cur[v]
+			}
+			active[u] = true // receivers become active (from next step on)
+		}
+	}
+
+	// The candidates' initial pushes form the first step.
+	pushMin()
+	copy(cur, next)
+	m.Step()
+
+	for t := 1; t < p.PushSteps; t++ {
+		pushMin()
+		copy(cur, next)
+		m.Step()
+	}
+
+	// Pull stage: every node opens a channel (avoiding remembered links)
+	// and the callee answers with its current minimum, if it has one.
+	for t := 0; t < p.PullSteps; t++ {
+		for v := int32(0); int(v) < n; v++ {
+			if nt.Failed[v] {
+				continue
+			}
+			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
+			if u < 0 {
+				continue
+			}
+			m.Open(1)
+			mem[v].Remember(u)
+			if !nt.Failed[u] && cur[u] != noID {
+				m.Push(1)
+				if cur[u] < next[v] {
+					next[v] = cur[u]
+				}
+			}
+		}
+		copy(cur, next)
+		m.Step()
+	}
+
+	// Resolution: the candidate that still believes in its own ID wins.
+	winners := 0
+	for v := int32(0); int(v) < n; v++ {
+		if candidate[v] && !nt.Failed[v] && cur[v] == v {
+			winners++
+			res.Leader = v
+		}
+	}
+	res.Unique = winners == 1
+	if res.Leader >= 0 {
+		for v := 0; v < n; v++ {
+			if !nt.Failed[v] && cur[v] == res.Leader {
+				res.AwareCount++
+			}
+		}
+	}
+	res.Steps = m.Steps
+	res.Meter = m
+	return res
+}

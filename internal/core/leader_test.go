@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"gossip/internal/phone"
+	"gossip/internal/xrand"
+)
+
+func TestElectLeaderBasics(t *testing.T) {
+	for _, n := range []int{256, 1024} {
+		g := testGraph(n, uint64(n)+40)
+		res := ElectLeader(g, DefaultLeaderParams(n), 1)
+		if !res.Unique {
+			t.Fatalf("n=%d: winners != 1: %+v", n, res)
+		}
+		if res.Leader < 0 || int(res.Leader) >= n {
+			t.Fatalf("n=%d: leader out of range: %d", n, res.Leader)
+		}
+		if res.AwareCount != n {
+			t.Errorf("n=%d: only %d/%d nodes aware of the leader", n, res.AwareCount, n)
+		}
+		if res.Candidates < 1 {
+			t.Errorf("n=%d: no candidates", n)
+		}
+	}
+}
+
+func TestElectLeaderIsMinimumCandidate(t *testing.T) {
+	// With node indices as IDs, the winner must be the minimum-index
+	// candidate. We recover the candidate set by rerunning the same
+	// per-node coins.
+	n := 1024
+	g := testGraph(n, 44)
+	seed := uint64(9)
+	p := DefaultLeaderParams(n)
+	res := ElectLeader(g, p, seed)
+
+	minCand := int32(-1)
+	for v := 0; v < n; v++ {
+		rng := xrand.New(xrand.SeedFor(seed, uint64(v)))
+		if rng.Bernoulli(p.CandidateProb) {
+			minCand = int32(v)
+			break
+		}
+	}
+	if minCand < 0 {
+		t.Skip("no candidate under these coins (vanishingly rare)")
+	}
+	if res.Leader != minCand {
+		t.Errorf("leader = %d, want minimum candidate %d", res.Leader, minCand)
+	}
+}
+
+func TestElectLeaderTransmissionBound(t *testing.T) {
+	// Lemma 18: O(n·loglog n) transmissions. Generous constant check.
+	n := 4096
+	g := testGraph(n, 45)
+	res := ElectLeader(g, DefaultLeaderParams(n), 2)
+	if !res.Unique {
+		t.Fatal("election failed")
+	}
+	bound := 12 * float64(n) * LogLogn(n)
+	if float64(res.Meter.Transmissions) > bound {
+		t.Errorf("transmissions %d exceed 12·n·loglog n = %v", res.Meter.Transmissions, bound)
+	}
+}
+
+func TestElectLeaderDeterministic(t *testing.T) {
+	g := testGraph(512, 46)
+	p := DefaultLeaderParams(512)
+	a := ElectLeader(g, p, 7)
+	b := ElectLeader(g, p, 7)
+	if a.Leader != b.Leader || a.Meter != b.Meter {
+		t.Error("same seed produced different elections")
+	}
+}
+
+func TestElectLeaderWithFailures(t *testing.T) {
+	// Lemma 19's regime: random non-malicious failures; the election must
+	// still produce a unique leader among healthy nodes, and healthy nodes
+	// must not believe a failed node's ID unless that node was a candidate
+	// before failing — here failures are injected from the start, so
+	// failed nodes never even candidate.
+	n := 1024
+	g := testGraph(n, 47)
+	nt := phone.NewNet(g, 3)
+	rng := xrand.New(99)
+	for _, v := range rng.SampleK(n, 40) {
+		nt.Failed[v] = true
+	}
+	res := electLeader(nt, DefaultLeaderParams(n))
+	if !res.Unique {
+		t.Fatalf("election with failures not unique: %+v", res)
+	}
+	if nt.Failed[res.Leader] {
+		t.Error("a failed node won the election")
+	}
+	healthy := n - nt.FailCount()
+	if res.AwareCount < healthy*95/100 {
+		t.Errorf("only %d/%d healthy nodes aware of leader", res.AwareCount, healthy)
+	}
+}
+
+func TestElectLeaderTinyGraphFallback(t *testing.T) {
+	// On tiny graphs the candidate coin may miss; the fallback must still
+	// elect someone rather than hang.
+	g := testGraph(16, 48)
+	res := ElectLeader(g, LeaderParams{
+		CandidateProb: 0, // force the fallback path
+		PushSteps:     8,
+		PullSteps:     4,
+		AvoidLast:     3,
+	}, 4)
+	if !res.Unique || res.Leader != 0 {
+		t.Errorf("fallback election wrong: %+v", res)
+	}
+}
+
+func TestElectLeaderAvoidLastValidation(t *testing.T) {
+	// Out-of-range AvoidLast falls back to 3 rather than panicking.
+	g := testGraph(128, 49)
+	p := DefaultLeaderParams(128)
+	p.AvoidLast = 99
+	res := ElectLeader(g, p, 5)
+	if !res.Unique {
+		t.Error("election failed with clamped AvoidLast")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/msg"
+	"gossip/internal/phone"
+)
+
+// The median-counter broadcast of Karp, Schindelhauer, Shenker and Vöcking
+// (FOCS'00) — the algorithm behind the O(n·loglog n)-transmission
+// broadcast bound on complete graphs that the reproduced paper repeatedly
+// contrasts gossiping against. Elsässer [19] showed this bound is NOT
+// achievable on sparse random graphs; AblationMedianCounter demonstrates
+// both facts empirically.
+//
+// Player states (following §3 of Karp et al.):
+//
+//	A:  uninformed; pulls every round.
+//	B:  informed, with an age counter m. Pushes and pulls every round. The
+//	    counter increments when, in one round, the player hears the rumor
+//	    from more players in state C or with counters larger than its own
+//	    than from players with counters at most its own (the "median"
+//	    rule). A player in state B for ctrMax consecutive rounds also
+//	    moves on (the age guard).
+//	C:  still transmits for ctrMax further rounds, then switches to D.
+//	D:  stops transmitting the rumor (channels may still open; the model
+//	    requires it, and openings are metered separately).
+//
+// An A-player that hears the rumor only from C-players jumps directly to
+// C, which is what shuts the protocol down in O(loglog n) rounds after
+// saturation.
+
+// mcState is a median-counter player state.
+type mcState uint8
+
+const (
+	mcA mcState = iota
+	mcB
+	mcC
+	mcD
+)
+
+// MedianCounterParams configures the broadcast.
+type MedianCounterParams struct {
+	// CtrMax is the counter ceiling (O(loglog n); Karp et al. use
+	// c·loglog n for a constant c).
+	CtrMax int32
+	// MaxSteps caps the run as a disconnection guard.
+	MaxSteps int
+}
+
+// DefaultMedianCounterParams returns CtrMax = ⌈loglog n⌉ + 2 and a
+// generous step cap.
+func DefaultMedianCounterParams(n int) MedianCounterParams {
+	return MedianCounterParams{
+		CtrMax:   int32(ceil(LogLogn(n)) + 2),
+		MaxSteps: 64 * ceil(Logn(n)),
+	}
+}
+
+// MedianCounterResult reports a run.
+type MedianCounterResult struct {
+	N     int
+	Steps int
+	// Informed is the number of players that ever learned the rumor.
+	Informed int
+	// Completed reports whether all players were informed.
+	Completed bool
+	// Quiesced reports whether every informed player reached state D (the
+	// protocol terminated by itself before the step cap).
+	Quiesced bool
+	// Transmissions counts rumor copies sent (the Karp et al. metric);
+	// Opened counts channel openings (every player opens every round).
+	Transmissions int64
+	Opened        int64
+}
+
+// MedianCounterBroadcast runs the median-counter push&pull protocol from
+// src on g. It returns when every informed player is in state D (self-
+// termination — the protocol's whole point) or when MaxSteps elapses.
+func MedianCounterBroadcast(g *graph.Graph, src int32, p MedianCounterParams, seed uint64) *MedianCounterResult {
+	n := g.N()
+	if p.MaxSteps <= 0 {
+		p.MaxSteps = 64 * ceil(Logn(n))
+	}
+	if p.CtrMax <= 0 {
+		p.CtrMax = DefaultMedianCounterParams(n).CtrMax
+	}
+	nt := phone.NewNet(g, seed)
+	st := msg.NewSingle(n)
+	st.Inform(src, 0)
+
+	state := make([]mcState, n)
+	ctr := make([]int32, n)     // B counter / C age
+	inState := make([]int32, n) // rounds spent in current state
+	state[src] = mcB
+	ctr[src] = 1
+
+	// Per-round tallies of rumor receipts, reset each round.
+	hiVotes := make([]int32, n) // from C players or B players with larger counter
+	loVotes := make([]int32, n) // from B players with counter <= own
+	fromC := make([]int32, n)   // receipts from C players only
+	anyRecv := make([]bool, n)
+
+	round := phone.NewRound(n)
+	res := &MedianCounterResult{N: n}
+
+	transmitting := func(v int32) bool { return state[v] == mcB || state[v] == mcC }
+
+	for res.Steps < p.MaxSteps {
+		res.Steps++
+		round.Reset()
+		nt.DialAll(round)
+		for _, u := range round.Out {
+			if u >= 0 {
+				res.Opened++
+			}
+		}
+
+		// Snapshot sender states for this round.
+		// (States only change at the end of the round, so reading the live
+		// arrays during delivery is already snapshot-correct.)
+		deliver := func(from, to int32) {
+			res.Transmissions++
+			if nt.Failed[to] {
+				return
+			}
+			anyRecv[to] = true
+			switch {
+			case state[from] == mcC:
+				hiVotes[to]++
+				fromC[to]++
+			case state[from] == mcB && (state[to] != mcB || ctr[from] >= ctr[to]):
+				// Equal counters vote "hi" (Karp et al. use m' >= m): this
+				// is what lets a saturated population climb in lockstep
+				// instead of deadlocking at B_1.
+				hiVotes[to]++
+			default:
+				loVotes[to]++
+			}
+		}
+		for v := int32(0); int(v) < n; v++ {
+			u := round.Out[v]
+			if u < 0 {
+				continue
+			}
+			if transmitting(v) && !nt.Failed[v] {
+				deliver(v, u) // push
+			}
+			if transmitting(u) && !nt.Failed[u] {
+				deliver(u, v) // pull response
+			}
+		}
+
+		// State transitions (synchronous).
+		allDone := true
+		for v := int32(0); int(v) < n; v++ {
+			switch state[v] {
+			case mcA:
+				if anyRecv[v] {
+					st.Inform(v, int32(res.Steps))
+					if fromC[v] > 0 && fromC[v] == hiVotes[v]+loVotes[v] {
+						// Heard the rumor only from C players: join C.
+						state[v] = mcC
+						ctr[v] = 0
+					} else {
+						state[v] = mcB
+						ctr[v] = 1
+					}
+					inState[v] = 0
+				}
+			case mcB:
+				inState[v]++
+				if hiVotes[v] > loVotes[v] {
+					ctr[v]++
+					inState[v] = 0
+				}
+				if ctr[v] > p.CtrMax || inState[v] > p.CtrMax {
+					state[v] = mcC
+					ctr[v] = 0
+					inState[v] = 0
+				}
+			case mcC:
+				ctr[v]++
+				if ctr[v] > p.CtrMax {
+					state[v] = mcD
+				}
+			}
+			if transmitting(v) {
+				allDone = false
+			}
+			hiVotes[v], loVotes[v], fromC[v] = 0, 0, 0
+			anyRecv[v] = false
+		}
+		if allDone {
+			res.Quiesced = true
+			break
+		}
+	}
+
+	res.Informed = st.Count()
+	res.Completed = st.Complete()
+	return res
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"math"
+
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/msg"
+	"gossip/internal/phone"
+	"gossip/internal/xrand"
+)
+
+// Seed-stream tags: distinct coordinates fed to xrand.SeedFor so that
+// leader choice and failure sampling are independent of the per-node dial
+// streams.
+const (
+	seedTagLeader = 0x6c656164 // "lead"
+	seedTagFail   = 0x6661696c // "fail"
+)
+
+// EdgeKind distinguishes how a gather edge came to exist, which determines
+// who opens the channel when the edge is replayed in Phase II.
+type EdgeKind uint8
+
+const (
+	// PushContact: parent contacted child during the push stage and stored
+	// the address; in Phase II the parent opens the channel (a poll) and
+	// the child responds with everything it has gathered.
+	PushContact EdgeKind = iota
+	// PullInform: child dialed parent during the pull stage and was
+	// informed; in Phase II the child opens the channel and pushes its
+	// messages up (the first loop of Algorithm 2 Phase II).
+	PullInform
+)
+
+// GatherEdge is one scheduled Phase II transfer: at gather step
+// mirror(T) = Steps - T + 1 the child's accumulated messages flow to the
+// parent.
+type GatherEdge struct {
+	Child, Parent int32
+	T             int32 // Phase I step of the original contact (1-based)
+	Kind          EdgeKind
+}
+
+// Tree is the communication infrastructure built by Phase I of
+// Algorithm 2: a broadcast of the leader's token in which every node
+// remembers whom it talked to and when, so Phase II can run the schedule
+// backwards and drain every message to the root.
+type Tree struct {
+	Root       int32
+	N          int
+	Steps      int32   // Phase I steps executed (push + pull stages)
+	InformedAt []int32 // step of first receipt (root: 0; never: -1)
+	Edges      []GatherEdge
+	Meter      phone.Meter
+	Completed  bool // every non-failed node informed
+}
+
+// MirrorStep returns the Phase II gather step at which the contact made at
+// Phase I step t is replayed.
+func (tr *Tree) MirrorStep(t int32) int32 { return tr.Steps - t + 1 }
+
+// buildTree runs the Phase I broadcast procedure from root. When record is
+// true the gather schedule is retained. When pullUntilComplete is true the
+// pull stage extends past pullSteps (up to maxPullSteps) until every
+// non-failed node is informed — the §5 convention for final phases.
+func buildTree(nt *phone.Net, root int32, pushSteps, pullSteps, maxPullSteps, memSlots int,
+	record, pullUntilComplete bool) *Tree {
+
+	g := nt.G
+	n := g.N()
+	tree := &Tree{
+		Root:       root,
+		N:          n,
+		InformedAt: make([]int32, n),
+	}
+	for i := range tree.InformedAt {
+		tree.InformedAt[i] = -1
+	}
+	tree.InformedAt[root] = 0
+	informedCount := 1
+
+	mem := make([]phone.LinkMemory, n)
+	for i := range mem {
+		mem[i] = phone.NewLinkMemory(memSlots)
+	}
+
+	var m phone.Meter
+	step := int32(0)
+
+	// Push stage: long-steps of 4 steps each. Nodes informed during
+	// long-step j (the root during "long-step -1") contact 4 distinct
+	// neighbors during long-step j+1, storing each contact.
+	active := []int32{root}
+	if nt.Failed[root] {
+		active = nil
+	}
+	longSteps := pushSteps / 4
+	for ls := 0; ls < longSteps; ls++ {
+		var newly []int32
+		for k := 0; k < 4; k++ {
+			step++
+			for _, u := range active {
+				v := g.RandomNeighborAvoid(u, nt.RNG(u), mem[u].Links())
+				if v < 0 {
+					continue
+				}
+				m.Open(1)
+				mem[u].Remember(v)
+				m.Push(1) // u pushes the token through the fresh channel
+				if record {
+					tree.Edges = append(tree.Edges, GatherEdge{Child: v, Parent: u, T: step, Kind: PushContact})
+				}
+				if tree.InformedAt[v] < 0 && !nt.Failed[v] {
+					tree.InformedAt[v] = step
+					informedCount++
+					newly = append(newly, v)
+				}
+			}
+			m.Step()
+		}
+		active = newly
+	}
+
+	// Pull stage: uninformed nodes open-avoid once per step; any callee
+	// that was informed before this step responds.
+	pull := func() bool { // one pull step; reports whether all informed
+		step++
+		for v := int32(0); int(v) < n; v++ {
+			if tree.InformedAt[v] >= 0 || nt.Failed[v] {
+				continue
+			}
+			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
+			if u < 0 {
+				continue
+			}
+			m.Open(1)
+			mem[v].Remember(u)
+			if at := tree.InformedAt[u]; at >= 0 && at < step && !nt.Failed[u] {
+				m.Push(1) // u answers through v's channel
+				tree.InformedAt[v] = step
+				informedCount++
+				if record {
+					tree.Edges = append(tree.Edges, GatherEdge{Child: v, Parent: u, T: step, Kind: PullInform})
+				}
+			}
+		}
+		m.Step()
+		return informedCount == n-nt.FailCount()
+	}
+	for t := 0; t < pullSteps; t++ {
+		if pull() && pullUntilComplete {
+			break
+		}
+	}
+	if pullUntilComplete {
+		for informedCount < n-nt.FailCount() && int(step) < pushSteps+maxPullSteps {
+			if pull() {
+				break
+			}
+		}
+	}
+
+	tree.Steps = step
+	tree.Meter = m
+	tree.Completed = informedCount == n-nt.FailCount()
+	return tree
+}
+
+// GatherPlan reports which nodes' original messages reach the root when
+// Phase II replays the tree's schedule in mirrored order, and the
+// communication this costs. It is computed structurally in O(n + |edges|)
+// without materializing message sets, which is what makes the paper's
+// 10⁵–10⁶-node robustness experiments laptop-sized; TestGatherStructural-
+// MatchesExact pins it against the exact set-based simulation.
+type GatherPlan struct {
+	Reached []bool // Reached[v]: v's original message arrives at the root
+	Count   int    // number of reached nodes (root included)
+	Meter   phone.Meter
+	Steps   int32
+}
+
+// realizeGather replays the Phase II schedule forward (ascending gather
+// step) under the failure mask and determines which polls actually carry
+// data. It returns the realized transfers in ascending gather-step order
+// together with the communication meter.
+//
+// Failed nodes neither open channels nor answer them. With dedup, a node
+// answers a poll only if it is "dirty" — it holds content it has not yet
+// answered with. Dirty flags use step-snapshot semantics: all polls within
+// one gather step see the dirty state from the step's start, then clears
+// (answered children) and sets (parents that received) are applied, sets
+// winning, because a node that both answered and received in one step
+// still holds unforwarded content.
+func realizeGather(tree *Tree, failed []bool, dedup bool) ([]GatherEdge, phone.Meter) {
+	var m phone.Meter
+	realized := make([]GatherEdge, 0, len(tree.Edges))
+	dirty := make([]bool, tree.N)
+	for i := range dirty {
+		dirty[i] = !failed[i] // every healthy node starts with its own message pending
+	}
+	var clears, sets []int32
+
+	// Edges are recorded in ascending Phase I step T; ascending gather
+	// step is descending T, and edges with equal T (one gather step) are
+	// contiguous.
+	for hi := len(tree.Edges); hi > 0; {
+		lo := hi - 1
+		for lo > 0 && tree.Edges[lo-1].T == tree.Edges[hi-1].T {
+			lo--
+		}
+		clears, sets = clears[:0], sets[:0]
+		for _, e := range tree.Edges[lo:hi] {
+			opener := e.Parent // PushContact: the parent polls
+			if e.Kind == PullInform {
+				opener = e.Child // the child pushes up
+			}
+			if failed[opener] {
+				continue
+			}
+			m.Open(1)
+			if failed[e.Child] || failed[e.Parent] {
+				continue // no data crosses a channel with a failed endpoint
+			}
+			if !dedup || dirty[e.Child] {
+				m.Push(1)
+				realized = append(realized, e)
+				clears = append(clears, e.Child)
+				sets = append(sets, e.Parent)
+			}
+		}
+		for _, v := range clears {
+			dirty[v] = false
+		}
+		for _, v := range sets {
+			dirty[v] = true
+		}
+		hi = lo
+	}
+	m.Steps = int(tree.Steps) // Phase II mirrors Phase I step for step
+	return realized, m
+}
+
+// gatherStructural computes the Phase II outcome under the failure mask
+// without materializing message sets.
+//
+// Correctness: content received at gather step s is forwardable at steps
+// > s. Over the realized transfers, define g(v) as the largest gather step
+// at which v sends to a node that can still deliver to the root
+// (g(root) = +inf). Scanning realized transfers in decreasing gather step,
+// g(parent) is final before any transfer with a smaller gather step is
+// examined, so one backward pass suffices. v's own message (ready from
+// step 0) reaches the root iff g(v) >= 1.
+func gatherStructural(tree *Tree, failed []bool, dedup bool) *GatherPlan {
+	n := tree.N
+	realized, meter := realizeGather(tree, failed, dedup)
+
+	const inf = math.MaxInt32
+	gval := make([]int32, n)
+	for i := range gval {
+		gval[i] = -1
+	}
+	gval[tree.Root] = inf
+
+	for i := len(realized) - 1; i >= 0; i-- { // descending gather step
+		e := realized[i]
+		s := tree.MirrorStep(e.T)
+		gp := gval[e.Parent]
+		if gp == inf || gp >= s+1 {
+			if s > gval[e.Child] {
+				gval[e.Child] = s
+			}
+		}
+	}
+
+	plan := &GatherPlan{Reached: make([]bool, n), Steps: tree.Steps}
+	for v := 0; v < n; v++ {
+		if failed[v] {
+			continue
+		}
+		if int32(v) == tree.Root || gval[v] >= 1 {
+			plan.Reached[v] = true
+			plan.Count++
+		}
+	}
+	plan.Meter = meter
+	return plan
+}
+
+// gatherExact replays the realized Phase II transfers with explicit
+// message sets (snapshot semantics per gather step) and returns the root's
+// gathered set. It is quadratic in memory and exists as ground truth for
+// tests and for the exact small-n gossip runs.
+func gatherExact(tree *Tree, failed []bool, dedup bool) (*bitset.Set, phone.Meter) {
+	n := tree.N
+	realized, meter := realizeGather(tree, failed, dedup)
+	tr := msg.NewFull(n)
+
+	for lo := 0; lo < len(realized); {
+		hi := lo + 1
+		for hi < len(realized) && realized[hi].T == realized[lo].T {
+			hi++
+		}
+		tr.BeginRound()
+		for _, e := range realized[lo:hi] {
+			tr.Transfer(e.Child, e.Parent)
+		}
+		tr.EndRound()
+		lo = hi
+	}
+	return tr.Row(tree.Root).Clone(), meter
+}
+
+// MemoryGossip runs Algorithm 2 on g with the given leader (pass -1 to
+// pick a uniformly random leader from seed). Phase I builds params.Trees
+// gather trees, Phase II drains all messages to the leader, and Phase III
+// broadcasts the combined packet with the same infrastructure procedure,
+// run until every node is informed.
+func MemoryGossip(g *graph.Graph, params MemoryParams, seed uint64, leader int32) *Result {
+	nt := phone.NewNet(g, seed)
+	return memoryGossip(nt, params, seed, leader)
+}
+
+func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32) *Result {
+	g := nt.G
+	n := g.N()
+	if leader < 0 {
+		leader = int32(xrand.New(xrand.SeedFor(seed, seedTagLeader)).Intn(n))
+	}
+	res := &Result{Algorithm: "memory", N: n, Leader: leader}
+	trees := make([]*Tree, params.Trees)
+
+	var m1 phone.Meter
+	for i := range trees {
+		trees[i] = buildTree(nt, leader, params.PushSteps, params.PullSteps,
+			params.Phase3MaxPullSteps, params.MemSlots, true, false)
+		m1.Add(trees[i].Meter)
+	}
+	res.addPhase("infrastructure", m1)
+
+	var m2 phone.Meter
+	gathered := make([]bool, n)
+	for _, t := range trees {
+		plan := gatherStructural(t, nt.Failed, params.DedupGather)
+		m2.Add(plan.Meter)
+		for v, r := range plan.Reached {
+			if r {
+				gathered[v] = true
+			}
+		}
+	}
+	res.addPhase("gather", m2)
+
+	// Phase III: broadcast the combined packet from the leader with the
+	// same procedure, pull stage running to completion.
+	bc := buildTree(nt, leader, params.Phase3PushSteps, params.PullSteps,
+		params.Phase3MaxPullSteps, params.MemSlots, false, true)
+	res.addPhase("broadcast", bc.Meter)
+
+	complete := bc.Completed
+	for v := 0; v < n; v++ {
+		if !nt.Failed[v] && !gathered[v] {
+			complete = false
+			break
+		}
+	}
+	res.Completed = complete
+	return res
+}
+
+// MemoryGossipWithElection runs Algorithm 3 to find a leader and then
+// Algorithm 2; the paper's headline O(n·loglog n)-transmission bound is for
+// this combination.
+func MemoryGossipWithElection(g *graph.Graph, params MemoryParams, lp LeaderParams, seed uint64) (*Result, *LeaderResult) {
+	nt := phone.NewNet(g, seed)
+	le := electLeader(nt, lp)
+	res := memoryGossip(nt, params, seed, le.Leader)
+	res.Algorithm = "memory+election"
+	// Prepend the election phase so the run totals include it.
+	full := &Result{Algorithm: res.Algorithm, N: res.N, Leader: le.Leader}
+	full.addPhase("election", le.Meter)
+	for _, ph := range res.Phases {
+		full.addPhase(ph.Name, ph.Meter)
+	}
+	full.Completed = res.Completed && le.Unique
+	return full, le
+}
+
+// RobustnessResult is one §5 failure experiment: F random non-leader nodes
+// crash after Phase I; how many healthy nodes' messages reach no tree root?
+type RobustnessResult struct {
+	N, Failed      int
+	Trees          int
+	LostAdditional int     // healthy nodes unreachable in every tree
+	Ratio          float64 // LostAdditional / Failed
+	PerTreeLost    []int   // per-tree loss before taking the union
+	TreesComplete  bool    // all trees informed everyone before failures
+}
+
+// MemoryRobustness reproduces the Figure 2/3/5 experiment: build
+// params.Trees independent trees with a healthy network, mark F uniformly
+// random non-leader nodes failed, replay Phase II on each tree under the
+// failure mask, and count healthy messages that reach no root.
+func MemoryRobustness(g *graph.Graph, params MemoryParams, seed uint64, failures int) RobustnessResult {
+	n := g.N()
+	nt := phone.NewNet(g, seed)
+	leader := int32(xrand.New(xrand.SeedFor(seed, seedTagLeader)).Intn(n))
+
+	trees := make([]*Tree, params.Trees)
+	complete := true
+	for i := range trees {
+		trees[i] = buildTree(nt, leader, params.PushSteps, params.PullSteps,
+			params.Phase3MaxPullSteps, params.MemSlots, true, false)
+		complete = complete && trees[i].Completed
+	}
+
+	// Fail F nodes uniformly at random, excluding the leader (DESIGN.md §3).
+	rng := xrand.New(xrand.SeedFor(seed, seedTagFail))
+	failed := make([]bool, n)
+	for _, idx := range rng.SampleK(n-1, failures) {
+		v := idx
+		if v >= leader {
+			v++ // skip the leader in the sample space
+		}
+		failed[v] = true
+	}
+
+	res := RobustnessResult{
+		N: n, Failed: failures, Trees: params.Trees,
+		PerTreeLost: make([]int, params.Trees), TreesComplete: complete,
+	}
+	reached := make([]bool, n)
+	for i, t := range trees {
+		plan := gatherStructural(t, failed, params.DedupGather)
+		healthy := n - failures
+		res.PerTreeLost[i] = healthy - plan.Count
+		for v, r := range plan.Reached {
+			if r {
+				reached[v] = true
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !failed[v] && !reached[v] {
+			res.LostAdditional++
+		}
+	}
+	if failures > 0 {
+		res.Ratio = float64(res.LostAdditional) / float64(failures)
+	}
+	return res
+}

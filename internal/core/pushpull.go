@@ -1,0 +1,101 @@
+package core
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/msg"
+	"gossip/internal/par"
+	"gossip/internal/phone"
+)
+
+// PushPull runs the simple push–pull gossiping baseline (Algorithm 4 of
+// the paper's appendix): in every step every node opens a channel to a
+// uniformly random neighbor and all messages are exchanged through all
+// open channels, until every node knows every message.
+//
+// maxSteps caps the run (0 means 64·log n, far beyond completion on the
+// connected graphs of the study). The returned tracker state is discarded;
+// use PushPullTracked to inspect it.
+func PushPull(g *graph.Graph, seed uint64, maxSteps int) *Result {
+	res, _ := PushPullTracked(g, seed, maxSteps)
+	return res
+}
+
+// PushPullTracked is PushPull returning the final message tracker.
+func PushPullTracked(g *graph.Graph, seed uint64, maxSteps int) (*Result, *msg.Full) {
+	return PushPullOn(phone.NewNet(g, seed), maxSteps)
+}
+
+// PushPullOn runs the baseline on a prepared substrate, letting callers
+// inject crash failures first. The completion predicate stays "every node
+// knows every message", so runs with failed nodes end at the cap.
+func PushPullOn(nt *phone.Net, maxSteps int) (*Result, *msg.Full) {
+	g := nt.G
+	n := g.N()
+	if maxSteps <= 0 {
+		maxSteps = 64 * ceil(Logn(n))
+	}
+	tr := msg.NewFull(n)
+	round := phone.NewRound(n)
+	res := &Result{Algorithm: "push-pull", N: n, Leader: -1}
+	var m phone.Meter
+
+	for m.Steps < maxSteps && !tr.Complete() {
+		round.Reset()
+		nt.DialAll(round)
+		exchangeDeliver(nt, tr, round, &m)
+		m.Step()
+	}
+
+	res.Completed = tr.Complete()
+	res.addPhase("push-pull", m)
+	return res, tr
+}
+
+// exchangeDeliver performs one push–pull step over the current dial table:
+// every open channel carries a bidirectional exchange. Content respects
+// the failure mask (failed nodes never dial — the substrate guarantees
+// that — never store, and never answer), and the meter charges a full
+// exchange per channel with a healthy callee and a lone push per channel
+// whose callee crashed (the caller's packet is sent; no answer returns).
+func exchangeDeliver(nt *phone.Net, tr *msg.Full, round *phone.Round, m *phone.Meter) {
+	n := round.N()
+	var exchanges, halfExchanges int64
+	for _, u := range round.Out {
+		if u < 0 {
+			continue
+		}
+		if nt.Failed[u] {
+			halfExchanges++
+		} else {
+			exchanges++
+		}
+	}
+
+	tr.BeginRound()
+	// Push direction: every caller's packet lands at its (healthy) callee.
+	// Sharded by receiver, so all writes to one row come from one goroutine.
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if nt.Failed[v] {
+				continue
+			}
+			for _, u := range round.Incoming(int32(v)) {
+				tr.Transfer(u, int32(v))
+			}
+		}
+	})
+	// Pull direction: each healthy callee's packet flows back to the
+	// caller (callers are never failed: failed nodes do not dial).
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if u := round.Out[v]; u >= 0 && !nt.Failed[u] {
+				tr.Transfer(u, int32(v))
+			}
+		}
+	})
+	tr.EndRound()
+
+	m.Open(exchanges + halfExchanges)
+	m.Exchange(exchanges)
+	m.Push(halfExchanges)
+}

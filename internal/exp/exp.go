@@ -1,0 +1,102 @@
+// Package exp defines the reproduction experiments: one constructor per
+// table and figure of the paper's evaluation section (§5, Appendix C) plus
+// the ablation studies listed in DESIGN.md. Each experiment returns a
+// Report that renders as an aligned table and an ASCII plot and can be
+// exported as CSV; cmd/figures and the root bench harness both consume
+// them.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"gossip/internal/asciiplot"
+	"gossip/internal/graph"
+	"gossip/internal/sweep"
+	"gossip/internal/xrand"
+)
+
+// Config scales and seeds an experiment. The zero value (plus a Seed) is
+// the laptop-default scale documented in DESIGN.md §5; Quick shrinks the
+// grids for benchmarks and smoke tests.
+type Config struct {
+	// Seed is the master seed; every graph and run derives its stream from
+	// it, so a Config reproduces bit-identical numbers.
+	Seed uint64
+	// Reps overrides the per-point repetition count (0 = experiment default).
+	Reps int
+	// Sizes overrides the graph-size grid (nil = experiment default).
+	Sizes []int
+	// Failures overrides the failure-count grid of the robustness figures.
+	Failures []int
+	// Quick shrinks grids to bench/smoke scale.
+	Quick bool
+}
+
+func (c Config) reps(def, quickDef int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+func (c Config) sizes(def, quickDef []int) []int {
+	if len(c.Sizes) > 0 {
+		return c.Sizes
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return def
+}
+
+// Seed-stream tags for deriving independent randomness per purpose.
+const (
+	tagGraph = 0x67726170 // "grap"
+	tagRun   = 0x72756e21 // "run!"
+)
+
+// testGraph builds the §5 network: G(n, log²n/n), seeded per (experiment
+// seed, n, rep).
+func paperGraph(cfg Config, n, rep int) *graph.Graph {
+	seed := xrand.SeedFor(cfg.Seed, tagGraph, uint64(n), uint64(rep))
+	return graph.ErdosRenyi(n, graph.PLogSquared(n), xrand.New(seed))
+}
+
+// runSeed derives the algorithm seed for (n, rep, variant).
+func runSeed(cfg Config, n, rep, variant int) uint64 {
+	return xrand.SeedFor(cfg.Seed, tagRun, uint64(n), uint64(rep), uint64(variant))
+}
+
+// Report is a rendered experiment.
+type Report struct {
+	ID    string // e.g. "figure1"
+	Title string
+	Table sweep.Table
+	// Series drive the ASCII plot; PlotOpts configure it.
+	Series   []asciiplot.Series
+	PlotOpts asciiplot.Options
+	Notes    []string
+}
+
+// Render writes the table, the plot and the notes.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n\n", r.ID, r.Title)
+	r.Table.Render(w)
+	if len(r.Series) > 0 {
+		fmt.Fprintln(w)
+		asciiplot.Render(w, r.Series, r.PlotOpts)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV exports the table as <dir>/<ID>.csv.
+func (r *Report) WriteCSV(dir string) error {
+	return r.Table.WriteCSV(dir, r.ID)
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny(sizes ...int) Config {
+	return Config{Seed: 1, Quick: true, Reps: 1, Sizes: sizes}
+}
+
+func renderOK(t *testing.T, r *Report) string {
+	t.Helper()
+	if r.ID == "" || r.Title == "" {
+		t.Fatalf("report missing metadata: %+v", r)
+	}
+	if len(r.Table.Rows) == 0 {
+		t.Fatalf("%s: empty table", r.ID)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, r.ID) {
+		t.Errorf("%s: render missing ID", r.ID)
+	}
+	return out
+}
+
+func TestFigure1Tiny(t *testing.T) {
+	r := Figure1(tiny(512, 1024))
+	out := renderOK(t, r)
+	if len(r.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(r.Series))
+	}
+	if !strings.Contains(out, "PushPull") || !strings.Contains(out, "Memory") {
+		t.Error("legend incomplete")
+	}
+	if len(r.Table.Rows) != 2 {
+		t.Errorf("want 2 rows, got %d", len(r.Table.Rows))
+	}
+}
+
+func TestFigure1SeriesOrdering(t *testing.T) {
+	// At any size, memory < fastgossip < pushpull on average (the Figure 1
+	// ordering), checked on the series values directly.
+	r := Figure1(Config{Seed: 2, Reps: 2, Sizes: []int{2048}})
+	pp, fg, mm := r.Series[0].Ys[0], r.Series[1].Ys[0], r.Series[2].Ys[0]
+	if !(mm < fg && fg < pp) {
+		t.Errorf("ordering violated: memory=%v fast=%v pushpull=%v", mm, fg, pp)
+	}
+}
+
+func TestFigure2Tiny(t *testing.T) {
+	r := Figure2(Config{Seed: 3, Quick: true, Reps: 1, Sizes: []int{2000}, Failures: []int{10, 100}})
+	renderOK(t, r)
+	if len(r.Table.Rows) != 2 {
+		t.Errorf("want 2 rows, got %d", len(r.Table.Rows))
+	}
+}
+
+func TestFigure3Tiny(t *testing.T) {
+	r := Figure3(Config{Seed: 4, Quick: true, Reps: 1, Sizes: []int{1000, 2000}, Failures: []int{20}})
+	renderOK(t, r)
+	if len(r.Series) != 2 {
+		t.Errorf("want one series per size, got %d", len(r.Series))
+	}
+}
+
+func TestFigure4Tiny(t *testing.T) {
+	r := Figure4(tiny(1024, 2048))
+	renderOK(t, r)
+	if len(r.Series) != 1 || len(r.Series[0].Xs) != 2 {
+		t.Error("series shape wrong")
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	r := Figure5(Config{Seed: 5, Quick: true, Reps: 2, Sizes: []int{1000}, Failures: []int{0, 100}})
+	renderOK(t, r)
+	// With zero failures no run can lose anything.
+	for _, row := range r.Table.Rows {
+		if row[1] == "0" && row[2] != "0" {
+			t.Errorf("zero failures row reports losses: %v", row)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(Config{Seed: 1})
+	out := renderOK(t, r)
+	for _, want := range []string{"Algorithm 1", "Algorithm 2", "⌈1.2·loglog n⌉", "n=1000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	if len(r.Table.Rows) != 9 {
+		t.Errorf("Table 1 rows = %d, want 9", len(r.Table.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	for _, mk := range []func(Config) *Report{
+		AblationDensity, AblationWalkProb, AblationMemorySlots, AblationTrees, AblationBroadcast,
+	} {
+		r := mk(Config{Seed: 6, Quick: true, Reps: 1, Sizes: []int{1024}})
+		renderOK(t, r)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	r := Table1(Config{Seed: 1})
+	if err := r.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "algorithm") {
+		t.Error("csv header missing")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true, Reps: 1, Sizes: []int{512}}
+	a, b := Figure1(cfg), Figure1(cfg)
+	var sa, sb strings.Builder
+	a.Render(&sa)
+	b.Render(&sb)
+	if sa.String() != sb.String() {
+		t.Error("same config produced different reports")
+	}
+}
+
+func TestDefaultFailureGrid(t *testing.T) {
+	grid := defaultFailureGrid(100000, 10)
+	if grid[0] < 10 || grid[len(grid)-1] > 50000 {
+		t.Errorf("grid out of range: %v", grid)
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Errorf("grid not increasing: %v", grid)
+		}
+	}
+}

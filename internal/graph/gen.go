@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"gossip/internal/xrand"
+)
+
+// Log2 is the paper's logarithm: log n denotes log base 2 (§1, footnote 1).
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// LogLog2 is log2(log2(x)), the loglog n that appears in every phase length.
+func LogLog2(x float64) float64 { return math.Log2(math.Log2(x)) }
+
+// PLogSquared returns the edge probability p = log²n / n used throughout
+// the paper's empirical section (§5), clamped to 1 on degenerate tiny n.
+func PLogSquared(n int) float64 {
+	l := Log2(float64(n))
+	p := l * l / float64(n)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// PLogPow returns p = log^e(n) / n, the density knob of the analysis
+// (the theory requires expected degree Ω(log^{2+ε} n)), clamped to 1 — on
+// very small n a high exponent saturates at the complete graph.
+func PLogPow(n int, e float64) float64 {
+	p := math.Pow(Log2(float64(n)), e) / float64(n)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ErdosRenyi samples G(n, p): every unordered pair {u, v}, u != v, is an
+// edge independently with probability p. The sampler walks the pair space
+// with geometric skips, so it runs in O(n + m) expected time rather than
+// O(n²).
+func ErdosRenyi(n int, p float64, rng *xrand.RNG) *Graph {
+	if n < 0 {
+		panic("graph: negative n")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: p out of [0,1]")
+	}
+	var edges []Edge
+	if p > 0 && n > 1 {
+		expected := p * float64(n) * float64(n-1) / 2
+		edges = make([]Edge, 0, int(expected*1.1)+16)
+		for u := int32(0); int(u) < n-1; u++ {
+			v := int(u) // candidate column; next edge is v + 1 + skip
+			for {
+				v += 1 + rng.Geometric(p)
+				if v >= n {
+					break
+				}
+				edges = append(edges, Edge{U: u, V: int32(v)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// ConfigStats reports the defect edges of a configuration-model pairing.
+// The paper (§2) notes that for the degrees considered the number of loops
+// and multi-edges is constant with high probability; tests assert this.
+type ConfigStats struct {
+	SelfLoops  int
+	MultiEdges int // surplus parallel edges (a triple edge counts 2)
+}
+
+// ConfigurationModel samples a d-regular multigraph on n nodes from the
+// pairing (configuration) model of Bollobás/Wormald (§2 of the paper):
+// d·n stubs, a uniformly random perfect matching of the stubs. n·d must be
+// even. Self-loops and multi-edges are kept — the model the paper analyzes
+// keeps them too — and reported in stats.
+func ConfigurationModel(n, d int, rng *xrand.RNG) (*Graph, ConfigStats) {
+	if n < 0 || d < 0 {
+		panic("graph: negative configuration-model parameter")
+	}
+	if n*d%2 != 0 {
+		panic("graph: n*d must be even in the configuration model")
+	}
+	stubs := make([]int32, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs[v*d+k] = int32(v)
+		}
+	}
+	// A uniformly random permutation paired off consecutively is a uniformly
+	// random perfect matching of the stubs.
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	edges := make([]Edge, 0, len(stubs)/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		edges = append(edges, Edge{U: stubs[i], V: stubs[i+1]})
+	}
+	g := FromEdges(n, edges)
+	return g, countDefects(n, edges)
+}
+
+// RandomRegular samples a simple d-regular graph by re-drawing
+// configuration-model pairings until one has no loops or multi-edges
+// (rejection is the classical exact sampler; acceptance probability is
+// bounded away from 0 for d = O(√log n), and for larger d we fall back to
+// local repair — erased configuration model — which the analysis also
+// tolerates since only O(1) edges differ w.h.p.). maxTries bounds the
+// rejection phase.
+func RandomRegular(n, d int, rng *xrand.RNG) *Graph {
+	const maxTries = 40
+	for try := 0; try < maxTries; try++ {
+		g, st := ConfigurationModel(n, d, rng)
+		if st.SelfLoops == 0 && st.MultiEdges == 0 {
+			return g
+		}
+	}
+	// Erased fallback: drop loops, collapse parallels.
+	g, _ := ConfigurationModel(n, d, rng)
+	return Simplify(g)
+}
+
+// Simplify returns a copy of g with self-loops removed and parallel edges
+// collapsed.
+func Simplify(g *Graph) *Graph {
+	var edges []Edge
+	seen := make(map[[2]int32]bool)
+	for v := int32(0); int(v) < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u <= v { // keep each undirected edge once, drop loops (u==v)
+				if u == v {
+					continue
+				}
+				key := [2]int32{u, v}
+				if !seen[key] {
+					seen[key] = true
+					edges = append(edges, Edge{U: u, V: v})
+				}
+			}
+		}
+	}
+	return FromEdges(g.N(), edges)
+}
+
+func countDefects(n int, edges []Edge) ConfigStats {
+	var st ConfigStats
+	seen := make(map[[2]int32]int, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			st.SelfLoops++
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		seen[[2]int32{u, v}]++
+	}
+	for _, c := range seen {
+		if c > 1 {
+			st.MultiEdges += c - 1
+		}
+	}
+	return st
+}
+
+// ChungLu samples a graph where edge {u,v} (u != v) appears independently
+// with probability min(1, w_u·w_v / S), S = Σw. With power-law weights this
+// is the random power-law model of Aiello–Chung–Lu (reference [1] of the
+// paper). Weights must be non-negative. Runs in O(n + m) expected time for
+// sorted weights via bounded geometric skipping.
+func ChungLu(weights []float64, rng *xrand.RNG) *Graph {
+	n := len(weights)
+	var s float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("graph: negative Chung-Lu weight")
+		}
+		s += w
+	}
+	// Sort node ids by descending weight so that within a row the edge
+	// probability is non-increasing and skip sampling with a running upper
+	// bound is valid.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	insertionSortByWeightDesc(order, weights)
+	var edges []Edge
+	if s > 0 {
+		for i := 0; i < n-1; i++ {
+			wu := weights[order[i]]
+			if wu == 0 {
+				break
+			}
+			j := i
+			q := math.Min(1, wu*weights[order[i+1]]/s)
+			for j < n-1 && q > 0 {
+				j += 1 + rng.Geometric(q)
+				if j >= n {
+					break
+				}
+				p := math.Min(1, wu*weights[order[j]]/s)
+				if rng.Float64() < p/q {
+					edges = append(edges, Edge{U: order[i], V: order[j]})
+				}
+				q = p
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// insertionSortByWeightDesc sorts ids by descending weight (ties broken by
+// id for determinism).
+func insertionSortByWeightDesc(ids []int32, w []float64) {
+	sort.Slice(ids, func(a, b int) bool {
+		if w[ids[a]] != w[ids[b]] {
+			return w[ids[a]] > w[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+}
+
+// PowerLawWeights returns n weights following a power law with the given
+// exponent beta > 1: w_i = wmin · ((n)/(i+1))^(1/(beta-1)). Used to feed
+// ChungLu.
+func PowerLawWeights(n int, beta, wmin float64) []float64 {
+	if beta <= 1 {
+		panic("graph: power-law exponent must exceed 1")
+	}
+	w := make([]float64, n)
+	inv := 1 / (beta - 1)
+	for i := range w {
+		w[i] = wmin * math.Pow(float64(n)/float64(i+1), inv)
+	}
+	return w
+}

@@ -1,0 +1,90 @@
+package graph
+
+import "gossip/internal/xrand"
+
+// Complete returns the complete graph K_n. The paper's baseline results
+// ([5], [34]) are proven on complete graphs; the ablation experiments use
+// K_n to show that gossiping behaves the same there as on sparse random
+// graphs (the paper's central message). The CSR is built directly —
+// n·(n-1) adjacency entries — so keep n moderate (4 GB at n ≈ 2^15·...;
+// the experiments use n ≤ 2^14).
+func Complete(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative n")
+	}
+	off := make([]int64, n+1)
+	for v := 0; v <= n; v++ {
+		off[v] = int64(v) * int64(n-1)
+	}
+	adj := make([]int32, int64(n)*int64(max(n-1, 0)))
+	for v := 0; v < n; v++ {
+		base := off[v]
+		i := int64(0)
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			adj[base+i] = int32(u)
+			i++
+		}
+	}
+	return &Graph{n: n, off: off, adj: adj}
+}
+
+// Hypercube returns the d-dimensional hypercube on n = 2^d nodes — one of
+// the bounded-degree classes of Feige et al. [23] the related work
+// discusses; the broadcast baselines run on it in tests.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 30 {
+		panic("graph: hypercube dimension out of range")
+	}
+	n := 1 << d
+	edges := make([]Edge, 0, n*d/2)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << i)
+			if u > v {
+				edges = append(edges, Edge{U: int32(v), V: int32(u)})
+			}
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+// PreferentialAttachment returns a Barabási–Albert graph: nodes arrive one
+// at a time, each attaching m edges to existing nodes with probability
+// proportional to degree (implemented with the repeated-endpoints list, so
+// sampling is exact). Multi-edges may occur, matching the standard model.
+// This is the preferential-attachment class of Doerr–Fouz–Friedrich [17],
+// on which the memory-model modification of §4 was first shown to speed up
+// broadcasting.
+func PreferentialAttachment(n, m int, rng *xrand.RNG) *Graph {
+	if m < 1 {
+		panic("graph: preferential attachment needs m >= 1")
+	}
+	if n <= m {
+		return Complete(max(n, 0))
+	}
+	edges := make([]Edge, 0, (n-m)*m+m*(m-1)/2)
+	// Seed clique on the first m+1 nodes.
+	for v := 0; v <= m; v++ {
+		for u := v + 1; u <= m; u++ {
+			edges = append(edges, Edge{U: int32(v), V: int32(u)})
+		}
+	}
+	// endpoints lists every edge endpoint; uniform sampling from it is
+	// degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*cap(edges))
+	for _, e := range edges {
+		endpoints = append(endpoints, e.U, e.V)
+	}
+	for v := m + 1; v < n; v++ {
+		base := len(endpoints) // sample only among prior nodes
+		for k := 0; k < m; k++ {
+			u := endpoints[rng.Intn(base)]
+			edges = append(edges, Edge{U: int32(v), V: u})
+			endpoints = append(endpoints, int32(v), u)
+		}
+	}
+	return FromEdges(n, edges)
+}

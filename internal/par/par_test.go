@@ -1,0 +1,58 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 257, 10000} {
+		seen := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForRangesDisjointAndOrdered(t *testing.T) {
+	var mu atomic.Int64
+	For(5000, func(lo, hi int) {
+		if lo >= hi {
+			mu.Add(1)
+		}
+	})
+	if mu.Load() != 0 {
+		t.Error("For dispatched empty ranges")
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	n := 12345
+	got := SumInt64(n, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	})
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Errorf("SumInt64 = %d, want %d", got, want)
+	}
+	if SumInt64(0, func(lo, hi int) int64 { return 99 }) != 0 {
+		t.Error("SumInt64(0) != 0")
+	}
+}
+
+func TestSumInt64Small(t *testing.T) {
+	if got := SumInt64(3, func(lo, hi int) int64 { return int64(hi - lo) }); got != 3 {
+		t.Errorf("small SumInt64 = %d", got)
+	}
+}

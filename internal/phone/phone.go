@@ -1,0 +1,292 @@
+// Package phone implements the random phone call model substrate (Demers
+// et al. PODC'87; Karp et al. FOCS'00; §2 of the reproduced paper).
+//
+// A simulation proceeds in synchronous steps. In each step every node may
+// open a channel to one neighbor — uniformly random, or uniformly random
+// avoiding a short list of remembered links (the §4 memory model). The
+// package provides the per-round dial table with an inverted incoming-
+// channel index, the bounded link memory used by open-avoid, and the
+// transmission meter whose counting conventions are spelled out in
+// DESIGN.md. The algorithms themselves live in internal/core.
+package phone
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/par"
+	"gossip/internal/xrand"
+)
+
+// NoDial marks a node that keeps its channel closed in a step.
+const NoDial int32 = -1
+
+// Round is the dial table of one synchronous step plus its inverted index.
+// Out[v] is the callee of v (or NoDial). After BuildIncoming, Incoming(v)
+// lists the callers that opened a channel to v this step. A Round is reused
+// across steps to avoid per-step allocation.
+type Round struct {
+	Out    []int32
+	inOff  []int32 // len n+1 after BuildIncoming
+	inFlat []int32
+	built  bool
+}
+
+// NewRound returns a Round for n nodes with all channels closed.
+func NewRound(n int) *Round {
+	r := &Round{
+		Out:    make([]int32, n),
+		inOff:  make([]int32, n+1),
+		inFlat: make([]int32, n),
+	}
+	for i := range r.Out {
+		r.Out[i] = NoDial
+	}
+	return r
+}
+
+// Reset closes all channels, preparing the Round for the next step.
+func (r *Round) Reset() {
+	for i := range r.Out {
+		r.Out[i] = NoDial
+	}
+	r.built = false
+}
+
+// N returns the number of nodes.
+func (r *Round) N() int { return len(r.Out) }
+
+// BuildIncoming constructs the caller index with a counting sort over the
+// dial table. O(n), deterministic (callers of v are listed in increasing
+// caller id).
+func (r *Round) BuildIncoming() {
+	n := len(r.Out)
+	for i := range r.inOff {
+		r.inOff[i] = 0
+	}
+	for _, u := range r.Out {
+		if u >= 0 {
+			r.inOff[u+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.inOff[i+1] += r.inOff[i]
+	}
+	cursor := make([]int32, n)
+	for v, u := range r.Out {
+		if u >= 0 {
+			r.inFlat[r.inOff[u]+cursor[u]] = int32(v)
+			cursor[u]++
+		}
+	}
+	r.built = true
+}
+
+// Incoming returns the callers of v this step. BuildIncoming must have run.
+func (r *Round) Incoming(v int32) []int32 {
+	if !r.built {
+		panic("phone: Incoming before BuildIncoming")
+	}
+	return r.inFlat[r.inOff[v]:r.inOff[v+1]]
+}
+
+// InDegree returns the number of incoming channels at v this step.
+func (r *Round) InDegree(v int32) int {
+	if !r.built {
+		panic("phone: InDegree before BuildIncoming")
+	}
+	return int(r.inOff[v+1] - r.inOff[v])
+}
+
+// Net bundles the graph with per-node RNG streams and the per-node link
+// memory of the §4 memory model. Per-node streams make the parallel dial
+// phase deterministic regardless of goroutine scheduling.
+type Net struct {
+	G      *graph.Graph
+	rngs   []xrand.RNG
+	Memory []LinkMemory // per-node remembered links (used by open-avoid)
+	Failed []bool       // crash-failure mask; failed nodes never dial or send
+}
+
+// NewNet builds a Net over g. Each node's stream is derived from seed and
+// the node id, so two Nets with equal seeds behave identically.
+func NewNet(g *graph.Graph, seed uint64) *Net {
+	n := g.N()
+	nt := &Net{
+		G:      g,
+		rngs:   make([]xrand.RNG, n),
+		Memory: make([]LinkMemory, n),
+		Failed: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		nt.rngs[v].Reseed(xrand.SeedFor(seed, uint64(v)))
+	}
+	return nt
+}
+
+// RNG returns node v's private stream.
+func (nt *Net) RNG(v int32) *xrand.RNG { return &nt.rngs[v] }
+
+// Dial opens a channel from v to a uniformly random neighbor, recording it
+// in r. It is a no-op for failed or isolated nodes.
+func (nt *Net) Dial(r *Round, v int32) {
+	if nt.Failed[v] {
+		return
+	}
+	r.Out[v] = nt.G.RandomNeighbor(v, &nt.rngs[v])
+}
+
+// DialAvoid opens a channel from v to a uniformly random neighbor outside
+// v's remembered links (open-avoid, §4). No-op for failed nodes; if every
+// neighbor is remembered the channel stays closed.
+func (nt *Net) DialAvoid(r *Round, v int32) {
+	if nt.Failed[v] {
+		return
+	}
+	r.Out[v] = nt.G.RandomNeighborAvoid(v, &nt.rngs[v], nt.Memory[v].Links())
+}
+
+// DialAll has every node dial a uniformly random neighbor, in parallel, and
+// builds the incoming index.
+func (nt *Net) DialAll(r *Round) {
+	par.For(len(r.Out), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nt.Dial(r, int32(v))
+		}
+	})
+	r.BuildIncoming()
+}
+
+// FailCount returns the number of failed nodes.
+func (nt *Net) FailCount() int {
+	c := 0
+	for _, f := range nt.Failed {
+		if f {
+			c++
+		}
+	}
+	return c
+}
+
+// MemorySlots is the size of the per-node link list in the §4 memory model
+// ("the nodes can store up to four different links they called on in the
+// past").
+const MemorySlots = 4
+
+// LinkMemory is the bounded FIFO of remembered link addresses. The zero
+// value is an empty memory.
+type LinkMemory struct {
+	slots [MemorySlots]int32
+	size  int8
+	head  int8
+	cap8  int8 // 0 means MemorySlots (zero value stays useful)
+}
+
+// NewLinkMemory returns a memory restricted to c slots (0 < c <=
+// MemorySlots); the ablation experiments vary c.
+func NewLinkMemory(c int) LinkMemory {
+	if c <= 0 || c > MemorySlots {
+		panic("phone: link memory capacity out of range")
+	}
+	return LinkMemory{cap8: int8(c)}
+}
+
+func (lm *LinkMemory) capacity() int8 {
+	if lm.cap8 == 0 {
+		return MemorySlots
+	}
+	return lm.cap8
+}
+
+// Remember records u, evicting the oldest entry when full.
+func (lm *LinkMemory) Remember(u int32) {
+	c := lm.capacity()
+	if lm.size < c {
+		lm.slots[(lm.head+lm.size)%c] = u
+		lm.size++
+		return
+	}
+	lm.slots[lm.head] = u
+	lm.head = (lm.head + 1) % c
+}
+
+// Links returns the remembered links in unspecified order (membership is
+// all open-avoid needs). The slice aliases an internal buffer valid until
+// the next Remember. The head index only moves once the memory is full, so
+// slots[:size] always holds exactly the live entries.
+func (lm *LinkMemory) Links() []int32 {
+	if lm.size == 0 {
+		return nil
+	}
+	return lm.slots[:lm.size]
+}
+
+// Contains reports whether u is remembered.
+func (lm *LinkMemory) Contains(u int32) bool {
+	c := lm.capacity()
+	for i := int8(0); i < lm.size; i++ {
+		if lm.slots[(lm.head+i)%c] == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of remembered links.
+func (lm *LinkMemory) Len() int { return int(lm.size) }
+
+// Clear forgets everything.
+func (lm *LinkMemory) Clear() {
+	lm.size = 0
+	lm.head = 0
+}
+
+// Meter counts the communication complexity of a run under the conventions
+// of Berenbrink et al. [5], which the paper adopts (see DESIGN.md §3):
+//
+//   - Transmissions: data-carrying channel uses. Sending one combined
+//     packet through an open channel counts once no matter how many
+//     original messages it contains; a push–pull exchange on one channel
+//     counts once. This is the "messages sent per node" series of
+//     Figures 1 and 4.
+//   - Packets: per-direction packet count (an exchange counts two).
+//   - Opened: channels opened (the model also charges openings).
+type Meter struct {
+	Opened        int64
+	Transmissions int64
+	Packets       int64
+	Steps         int
+}
+
+// Open charges k channel openings.
+func (m *Meter) Open(k int64) { m.Opened += k }
+
+// Push charges a one-directional packet through a channel.
+func (m *Meter) Push(k int64) {
+	m.Transmissions += k
+	m.Packets += k
+}
+
+// Exchange charges a bidirectional push–pull exchange on k channels:
+// one transmission, two packets each.
+func (m *Meter) Exchange(k int64) {
+	m.Transmissions += k
+	m.Packets += 2 * k
+}
+
+// Step records the completion of one synchronous step.
+func (m *Meter) Step() { m.Steps++ }
+
+// Add folds o into m (per-phase meters summed into a run meter).
+func (m *Meter) Add(o Meter) {
+	m.Opened += o.Opened
+	m.Transmissions += o.Transmissions
+	m.Packets += o.Packets
+	m.Steps += o.Steps
+}
+
+// PerNode returns x/n as a float64.
+func PerNode(x int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(x) / float64(n)
+}

@@ -1,0 +1,58 @@
+package stats
+
+import "math"
+
+// Fit is an ordinary least-squares line y = Intercept + Slope·x.
+type Fit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination (1 = perfect fit).
+	R2 float64
+	N  int
+}
+
+// LinearFit fits a least-squares line through (xs, ys). It panics on
+// mismatched lengths and returns a zero fit for fewer than two points or a
+// degenerate x range. The shape tests use it to check, e.g., that
+// push–pull rounds grow with slope ≈ 1 in log₂ n while the memory model's
+// slope is ≈ 0.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return Fit{N: n}
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{N: n}
+	}
+	slope := sxy / sxx
+	fit := Fit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	if syy > 0 {
+		ssRes := syy - slope*sxy
+		fit.R2 = 1 - ssRes/syy
+		if math.IsNaN(fit.R2) {
+			fit.R2 = 0
+		}
+	} else {
+		fit.R2 = 1 // constant y fitted exactly by slope 0
+	}
+	return fit
+}

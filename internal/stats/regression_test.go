@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", f)
+	}
+	if !almost(f.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	f := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if f.Slope != 0 || f.Intercept != 5 || f.R2 != 1 {
+		t.Errorf("constant fit = %+v", f)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{2}); f.Slope != 0 || f.N != 1 {
+		t.Errorf("single point fit = %+v", f)
+	}
+	if f := LinearFit([]float64{2, 2}, []float64{1, 3}); f.Slope != 0 {
+		t.Errorf("vertical data fit = %+v", f)
+	}
+	if f := LinearFit(nil, nil); f.N != 0 {
+		t.Errorf("empty fit = %+v", f)
+	}
+}
+
+func TestLinearFitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 4+0.5*x+r.NormFloat64()*0.2)
+	}
+	f := LinearFit(xs, ys)
+	if math.Abs(f.Slope-0.5) > 0.01 || math.Abs(f.Intercept-4) > 0.3 {
+		t.Errorf("noisy fit = %+v", f)
+	}
+	if f.R2 < 0.95 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestQuickLinearFitRecoversLine(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slope := r.Float64()*10 - 5
+		icept := r.Float64()*10 - 5
+		var xs, ys []float64
+		for i := 0; i < 10; i++ {
+			x := r.Float64() * 100
+			xs = append(xs, x)
+			ys = append(ys, icept+slope*x)
+		}
+		fit := LinearFit(xs, ys)
+		return almost(fit.Slope, slope, 1e-6) && almost(fit.Intercept, icept, 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

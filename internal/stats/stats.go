@@ -1,0 +1,248 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming moments (Welford), order statistics,
+// normal-approximation confidence intervals, and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc is a streaming accumulator of count, mean and variance (Welford's
+// algorithm), plus min and max. The zero value is ready to use.
+type Acc struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add feeds one observation.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddAll feeds a slice of observations.
+func (a *Acc) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 if empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 if n < 2).
+func (a *Acc) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Acc) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 if empty).
+func (a *Acc) Max() float64 { return a.max }
+
+// StdErr returns the standard error of the mean.
+func (a *Acc) StdErr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (a *Acc) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Merge folds o into a (parallel-sweep reduction).
+func (a *Acc) Merge(o *Acc) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	n := a.n + o.n
+	d := o.mean - a.mean
+	a.m2 += o.m2 + d*d*float64(a.n)*float64(o.n)/float64(n)
+	a.mean += d * float64(o.n) / float64(n)
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	a.n = n
+}
+
+// String renders "mean ± ci95 (n=..)"; used by the harness tables.
+func (a *Acc) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Mean returns the mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var a Acc
+	a.AddAll(xs)
+	return a.StdDev()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// Quantiles returns several quantiles with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary is a one-shot descriptive summary of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, P25, P50, P75 float64
+	P95, Max           float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	var a Acc
+	a.AddAll(xs)
+	qs := Quantiles(xs, 0.25, 0.5, 0.75, 0.95)
+	return Summary{
+		N:      len(xs),
+		Mean:   a.Mean(),
+		StdDev: a.StdDev(),
+		Min:    a.Min(),
+		P25:    qs[0],
+		P50:    qs[1],
+		P75:    qs[2],
+		P95:    qs[3],
+		Max:    a.Max(),
+	}
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi); observations outside
+// the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with k buckets over [lo, hi).
+func NewHistogram(lo, hi float64, k int) *Histogram {
+	if k <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, k)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	k := len(h.Buckets)
+	i := int(float64(k) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= k {
+		i = k - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// FractionAbove returns the fraction of observations in buckets whose lower
+// edge is >= x.
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	k := len(h.Buckets)
+	width := (h.Hi - h.Lo) / float64(k)
+	var c int64
+	for i, b := range h.Buckets {
+		if h.Lo+float64(i)*width >= x {
+			c += b
+		}
+	}
+	return float64(c) / float64(h.total)
+}

@@ -1,0 +1,177 @@
+// Package sweep is the experiment harness: it runs repeated simulations
+// (optionally in parallel), aggregates them with internal/stats, and
+// renders results as aligned text tables and CSV.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gossip/internal/stats"
+)
+
+// Repeat runs fn(rep) for rep = 0..reps-1 and accumulates the returned
+// values. Repetitions are independent simulations keyed by rep, so results
+// do not depend on scheduling.
+func Repeat(reps int, fn func(rep int) float64) stats.Acc {
+	var acc stats.Acc
+	for r := 0; r < reps; r++ {
+		acc.Add(fn(r))
+	}
+	return acc
+}
+
+// RepeatParallel is Repeat with a bounded worker pool. workers <= 0 uses
+// GOMAXPROCS. fn must be safe for concurrent use with distinct rep values
+// (the simulators are: each run builds its own substrate). The aggregation
+// is order-independent, so the result is deterministic.
+func RepeatParallel(reps, workers int, fn func(rep int) float64) stats.Acc {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		return Repeat(reps, fn)
+	}
+	vals := make([]float64, reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				vals[r] = fn(r)
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	var acc stats.Acc
+	acc.AddAll(vals)
+	return acc
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one formatted row; values are Sprinted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes the table as name.csv under dir (creating dir).
+func (t *Table) WriteCSV(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: create csv dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("sweep: create csv: %w", err)
+	}
+	defer f.Close()
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(f, strings.Join(quoted, ","))
+		return err
+	}
+	if err := write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogSpacedSizes returns k graph sizes geometrically spaced in [lo, hi]
+// (inclusive endpoints, deduplicated, ascending) — the x grid of the
+// paper's figures.
+func LogSpacedSizes(lo, hi, k int) []int {
+	if k < 2 || hi <= lo {
+		return []int{lo}
+	}
+	out := make([]int, 0, k)
+	ratio := float64(hi) / float64(lo)
+	for i := 0; i < k; i++ {
+		x := float64(lo) * math.Pow(ratio, float64(i)/float64(k-1))
+		v := int(x + 0.5)
+		if len(out) == 0 || v > out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRepeat(t *testing.T) {
+	acc := Repeat(5, func(rep int) float64 { return float64(rep) })
+	if acc.N() != 5 || acc.Mean() != 2 {
+		t.Errorf("Repeat acc: n=%d mean=%v", acc.N(), acc.Mean())
+	}
+}
+
+func TestRepeatParallelMatchesSequential(t *testing.T) {
+	fn := func(rep int) float64 { return float64(rep * rep) }
+	seq := Repeat(20, fn)
+	par := RepeatParallel(20, 4, fn)
+	if seq.N() != par.N() || seq.Mean() != par.Mean() {
+		t.Errorf("parallel (%v) != sequential (%v)", par.Mean(), seq.Mean())
+	}
+	if seq.StdDev() != par.StdDev() {
+		t.Error("spread differs")
+	}
+}
+
+func TestRepeatParallelSingleWorker(t *testing.T) {
+	acc := RepeatParallel(3, 1, func(rep int) float64 { return 1 })
+	if acc.N() != 3 {
+		t.Error("single worker path wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"n", "value"}}
+	tb.AddRow(1024, 3.14159)
+	tb.AddRow("big", "x")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "1024") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "--") {
+		t.Error("separator missing")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x,y", 2.0)
+	if err := tb.WriteCSV(dir, "out"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "a,b") || !strings.Contains(got, "\"x,y\",2") {
+		t.Errorf("csv content: %q", got)
+	}
+}
+
+func TestLogSpacedSizes(t *testing.T) {
+	s := LogSpacedSizes(1000, 100000, 5)
+	if s[0] != 1000 || s[len(s)-1] != 100000 {
+		t.Errorf("endpoints wrong: %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Errorf("not strictly increasing: %v", s)
+		}
+	}
+	// Roughly geometric: ratios similar.
+	r1 := float64(s[1]) / float64(s[0])
+	r2 := float64(s[len(s)-1]) / float64(s[len(s)-2])
+	if r1/r2 > 1.5 || r2/r1 > 1.5 {
+		t.Errorf("spacing not geometric: %v", s)
+	}
+}
+
+func TestLogSpacedSizesDegenerate(t *testing.T) {
+	if got := LogSpacedSizes(10, 10, 3); len(got) != 1 || got[0] != 10 {
+		t.Errorf("degenerate sweep wrong: %v", got)
+	}
+	if got := LogSpacedSizes(10, 100, 1); len(got) != 1 {
+		t.Errorf("single-point sweep wrong: %v", got)
+	}
+}

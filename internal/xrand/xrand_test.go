@@ -1,0 +1,335 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from distinct seeds collide %d/100 times", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := r.Uint64()
+	r.Uint64()
+	r.Reseed(7)
+	if got := r.Uint64(); got != first {
+		t.Errorf("Reseed did not restart stream: %d != %d", got, first)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-ish check on 8 buckets.
+	r := New(99)
+	const buckets = 8
+	const samples = 80000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(samples) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %f", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(8)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(10)
+	p := 0.2
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of geometric counting failures
+	if math.Abs(mean-want) > 0.15 {
+		t.Errorf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := New(11)
+	if g := r.Geometric(1); g != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", g)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestQuickPermValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(100)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	r := New(13)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		k := r.Intn(n + 1)
+		s := r.SampleK(n, k)
+		if len(s) != k {
+			t.Fatalf("SampleK(%d,%d) len = %d", n, k, len(s))
+		}
+		seen := map[int32]bool{}
+		for _, v := range s {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("SampleK(%d,%d) invalid: %v", n, k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKCoverage(t *testing.T) {
+	// Every element should be sampled eventually.
+	r := New(14)
+	n := 10
+	hit := make([]int, n)
+	for trial := 0; trial < 2000; trial++ {
+		for _, v := range r.SampleK(n, 3) {
+			hit[v]++
+		}
+	}
+	for i, h := range hit {
+		if h == 0 {
+			t.Errorf("element %d never sampled", i)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(15)
+	cases := []struct {
+		n int
+		p float64
+	}{{100, 0.05}, {1000, 0.3}, {50, 0.9}}
+	for _, c := range cases {
+		sum := 0.0
+		const reps = 20000
+		for i := 0; i < reps; i++ {
+			sum += float64(r.Binomial(c.n, c.p))
+		}
+		mean := sum / reps
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(want * (1 - c.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(reps)+0.5 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want ~%v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(16)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Error("Binomial(0, p) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Error("Binomial(n, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("Binomial(n, 1) != n")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	sum, sumsq := 0.0, 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for run := uint64(0); run < 30; run++ {
+		for node := uint64(0); node < 30; node++ {
+			s := SeedFor(123, run, node)
+			if seen[s] {
+				t.Fatalf("SeedFor collision at run=%d node=%d", run, node)
+			}
+			seen[s] = true
+		}
+	}
+	// Order of coordinates matters.
+	if SeedFor(1, 2, 3) == SeedFor(1, 3, 2) {
+		t.Error("SeedFor should distinguish coordinate order")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(20)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("Split streams collide %d/100 times", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(7); v >= 7 {
+			t.Fatalf("Uint64n(7) = %d", v)
+		}
+	}
+	// Power-of-two bound.
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(1 << 40); v >= 1<<40 {
+			t.Fatalf("Uint64n(2^40) = %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}
