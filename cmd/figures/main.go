@@ -30,15 +30,14 @@ func main() {
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes (override)")
 		failures = flag.String("failures", "", "comma-separated failure counts (figures 2/3/5)")
 		csvDir   = flag.String("csv", "", "also write <dir>/<id>.csv")
+		workers  = flag.Int("workers", 0, "grid-cell worker pool (0 = GOMAXPROCS; output is identical for any value)")
 	)
 	flag.Parse()
 
-	cfg := gossip.ExperimentConfig{
-		Seed:     *seed,
-		Reps:     *reps,
-		Quick:    *quick,
-		Sizes:    parseInts(*sizes),
-		Failures: parseInts(*failures),
+	cfg, err := buildConfig(*seed, *reps, *quick, *workers, *sizes, *failures)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	ids := gossip.ExperimentIDs()
@@ -62,19 +61,39 @@ func main() {
 	}
 }
 
-func parseInts(s string) []int {
+// buildConfig assembles the experiment configuration from the flag values.
+func buildConfig(seed uint64, reps int, quick bool, workers int, sizes, failures string) (gossip.ExperimentConfig, error) {
+	ns, err := parseInts(sizes)
+	if err != nil {
+		return gossip.ExperimentConfig{}, err
+	}
+	fs, err := parseInts(failures)
+	if err != nil {
+		return gossip.ExperimentConfig{}, err
+	}
+	return gossip.ExperimentConfig{
+		Seed:     seed,
+		Reps:     reps,
+		Quick:    quick,
+		Workers:  workers,
+		Sizes:    ns,
+		Failures: fs,
+	}, nil
+}
+
+// parseInts parses a comma-separated integer list ("" is nil).
+func parseInts(s string) ([]int, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad integer list %q: %v\n", s, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad integer list %q: %v", s, err)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gossip"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "1,,2", "1;2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig(7, 2, true, 3, "512,1024", "10,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Reps != 2 || !cfg.Quick || cfg.Workers != 3 {
+		t.Errorf("scalar fields wrong: %+v", cfg)
+	}
+	if len(cfg.Sizes) != 2 || len(cfg.Failures) != 2 {
+		t.Errorf("list fields wrong: %+v", cfg)
+	}
+	if _, err := buildConfig(1, 0, false, 0, "bad", ""); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if _, err := buildConfig(1, 0, false, 0, "", "bad"); err == nil {
+		t.Error("bad failures accepted")
+	}
+}
+
+// TestExperimentWorkerIndependence pins the engine guarantee the command
+// relies on: -workers changes wall-clock, never output.
+func TestExperimentWorkerIndependence(t *testing.T) {
+	render := func(workers int) string {
+		cfg, err := buildConfig(5, 1, true, workers, "512,1024", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := gossip.Experiment("figure1", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		rep.Render(&b)
+		return b.String()
+	}
+	if serial, parallel := render(1), render(8); serial != parallel {
+		t.Fatalf("figure1 output depends on workers:\n-- 1 --\n%s\n-- 8 --\n%s", serial, parallel)
+	}
+}

@@ -1,24 +1,38 @@
-// Command gossipsim runs one gossiping simulation from the random phone
-// call model reproduction and prints its accounting.
+// Command gossipsim runs gossiping simulations from the random phone call
+// model reproduction.
 //
-// Examples:
+// Single-run mode prints one simulation's accounting:
 //
 //	gossipsim -algo pushpull -n 4096
 //	gossipsim -algo fast -n 16384 -reps 5
 //	gossipsim -algo memory -n 100000 -trees 3 -failures 5000
 //	gossipsim -algo memory-elect -n 8192
 //	gossipsim -algo broadcast-push -n 8192 -model regular -degree 64
+//
+// Sweep mode expands a declarative scenario grid (algorithm × graph model
+// × density × size × failure count) and executes it on the parallel
+// runner engine, with deterministic per-cell seeds, an aggregate table,
+// and optional JSON-lines / CSV export:
+//
+//	gossipsim sweep -algos pushpull,fast -models er,regular,powerlaw \
+//	    -sizes 1024..65536 -densities 0.5,1,2,4 -failures 0,1%,5% \
+//	    -reps 10 -json out.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gossip"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
+		return
+	}
 	var (
 		algo     = flag.String("algo", "pushpull", "pushpull | fast | fast-theory | memory | memory-elect | broadcast-push | broadcast-pull | broadcast-pushpull")
 		n        = flag.Int("n", 4096, "number of nodes (= number of messages)")
@@ -36,65 +50,77 @@ func main() {
 
 	for rep := 0; rep < *reps; rep++ {
 		s := *seed + uint64(rep)
-		g := buildGraph(*model, *n, *p, *degree, *beta, s)
+		g, err := buildGraph(*model, *n, *p, *degree, *beta, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			flag.Usage()
+			os.Exit(2)
+		}
 		if rep == 0 {
 			d := gossip.Degrees(g)
 			fmt.Printf("graph: n=%d edges=%d mean-degree=%.1f connected=%v\n\n",
 				g.N(), g.M(), d.Mean, gossip.IsConnected(g))
 		}
-		switch *algo {
-		case "memory":
-			if *failures > 0 {
-				params := gossip.TunedMemoryParams(*n)
-				params.Trees = *trees
-				res := gossip.RunMemoryRobustness(g, params, s, *failures)
-				fmt.Printf("robustness: failed=%d additional-lost=%d ratio=%.3f per-tree=%v\n",
-					res.Failed, res.LostAdditional, res.Ratio, res.PerTreeLost)
-				continue
-			}
-			params := gossip.TunedMemoryParams(*n)
-			params.Trees = *trees
-			report(gossip.RunMemoryGossip(g, params, s, -1), *verbose)
-		case "memory-elect":
-			params := gossip.TunedMemoryParams(*n)
-			params.Trees = *trees
-			res, le := gossip.RunMemoryGossipWithElection(g, params, gossip.DefaultLeaderParams(*n), s)
-			fmt.Printf("election: leader=%d candidates=%d aware=%d/%d\n",
-				le.Leader, le.Candidates, le.AwareCount, le.N)
-			report(res, *verbose)
-		case "pushpull":
-			report(gossip.RunPushPull(g, s, 0), *verbose)
-		case "fast":
-			report(gossip.RunFastGossip(g, gossip.TunedFastGossipParams(*n), s), *verbose)
-		case "fast-theory":
-			report(gossip.RunFastGossip(g, gossip.TheoryFastGossipParams(*n), s), *verbose)
-		case "broadcast-push", "broadcast-pull", "broadcast-pushpull":
-			mode := map[string]gossip.BroadcastMode{
-				"broadcast-push":     gossip.PushOnly,
-				"broadcast-pull":     gossip.PullOnly,
-				"broadcast-pushpull": gossip.PushAndPull,
-			}[*algo]
-			res := gossip.RunBroadcast(g, 0, mode, s, 0)
-			fmt.Printf("broadcast %-9s rounds=%-3d completed=%-5v transmissions/node=%.2f\n",
-				mode, res.Steps, res.Completed, float64(res.Transmissions)/float64(res.N))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		if err := runOne(os.Stdout, g, *algo, *n, s, *trees, *failures, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			flag.Usage()
 			os.Exit(2)
 		}
 	}
 }
 
-func buildGraph(model string, n int, p float64, degree int, beta float64, seed uint64) *gossip.Graph {
+// runOne dispatches one repetition of the single-run mode and writes its
+// accounting to w.
+func runOne(w io.Writer, g *gossip.Graph, algo string, n int, seed uint64, trees, failures int, verbose bool) error {
+	switch algo {
+	case "memory":
+		params := gossip.TunedMemoryParams(n)
+		params.Trees = trees
+		if failures > 0 {
+			res := gossip.RunMemoryRobustness(g, params, seed, failures)
+			fmt.Fprintf(w, "robustness: failed=%d additional-lost=%d ratio=%.3f per-tree=%v\n",
+				res.Failed, res.LostAdditional, res.Ratio, res.PerTreeLost)
+			return nil
+		}
+		report(w, gossip.RunMemoryGossip(g, params, seed, -1), verbose)
+	case "memory-elect":
+		params := gossip.TunedMemoryParams(n)
+		params.Trees = trees
+		res, le := gossip.RunMemoryGossipWithElection(g, params, gossip.DefaultLeaderParams(n), seed)
+		fmt.Fprintf(w, "election: leader=%d candidates=%d aware=%d/%d\n",
+			le.Leader, le.Candidates, le.AwareCount, le.N)
+		report(w, res, verbose)
+	case "pushpull":
+		report(w, gossip.RunPushPull(g, seed, 0), verbose)
+	case "fast":
+		report(w, gossip.RunFastGossip(g, gossip.TunedFastGossipParams(n), seed), verbose)
+	case "fast-theory":
+		report(w, gossip.RunFastGossip(g, gossip.TheoryFastGossipParams(n), seed), verbose)
+	case "broadcast-push", "broadcast-pull", "broadcast-pushpull":
+		mode := map[string]gossip.BroadcastMode{
+			"broadcast-push":     gossip.PushOnly,
+			"broadcast-pull":     gossip.PullOnly,
+			"broadcast-pushpull": gossip.PushAndPull,
+		}[algo]
+		res := gossip.RunBroadcast(g, 0, mode, seed, 0)
+		fmt.Fprintf(w, "broadcast %-9s rounds=%-3d completed=%-5v transmissions/node=%.2f\n",
+			mode, res.Steps, res.Completed, float64(res.Transmissions)/float64(res.N))
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	return nil
+}
+
+// buildGraph samples the single-run-mode topology from the flag values.
+func buildGraph(model string, n int, p float64, degree int, beta float64, seed uint64) (*gossip.Graph, error) {
 	switch model {
 	case "er":
-		return gossip.NewPaperGraph(n, seed)
+		return gossip.NewPaperGraph(n, seed), nil
 	case "er-p":
 		if p <= 0 || p > 1 {
-			fmt.Fprintln(os.Stderr, "-model er-p requires -p in (0, 1]")
-			os.Exit(2)
+			return nil, fmt.Errorf("-model er-p requires -p in (0, 1]")
 		}
-		return gossip.NewErdosRenyi(n, p, seed)
+		return gossip.NewErdosRenyi(n, p, seed), nil
 	case "regular":
 		d := degree
 		if d <= 0 {
@@ -103,22 +129,20 @@ func buildGraph(model string, n int, p float64, degree int, beta float64, seed u
 		if n*d%2 == 1 {
 			d++
 		}
-		return gossip.NewRandomRegular(n, d, seed)
+		return gossip.NewRandomRegular(n, d, seed), nil
 	case "powerlaw":
-		return gossip.NewPowerLaw(n, beta, 8, seed)
+		return gossip.NewPowerLaw(n, beta, 8, seed), nil
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -model %q\n", model)
-		os.Exit(2)
-		return nil
+		return nil, fmt.Errorf("unknown -model %q", model)
 	}
 }
 
-func report(res *gossip.Result, verbose bool) {
+func report(w io.Writer, res *gossip.Result, verbose bool) {
 	if verbose {
-		fmt.Println(res)
+		fmt.Fprintln(w, res)
 		return
 	}
-	fmt.Printf("%-14s steps=%-4d completed=%-5v msgs/node=%-7.2f packets/node=%-7.2f opened/node=%.2f\n",
+	fmt.Fprintf(w, "%-14s steps=%-4d completed=%-5v msgs/node=%-7.2f packets/node=%-7.2f opened/node=%.2f\n",
 		res.Algorithm, res.Steps, res.Completed,
 		res.TransmissionsPerNode(), res.PacketsPerNode(), res.OpenedPerNode())
 }

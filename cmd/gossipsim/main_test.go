@@ -1,0 +1,153 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gossip"
+)
+
+func TestBuildGraphModels(t *testing.T) {
+	for _, tc := range []struct {
+		model  string
+		p      float64
+		degree int
+	}{
+		{model: "er"},
+		{model: "er-p", p: 0.1},
+		{model: "regular", degree: 8},
+		{model: "regular"}, // degree defaulted to log²n
+		{model: "powerlaw"},
+	} {
+		g, err := buildGraph(tc.model, 256, tc.p, tc.degree, 2.5, 1)
+		if err != nil {
+			t.Fatalf("buildGraph(%q): %v", tc.model, err)
+		}
+		if g.N() != 256 {
+			t.Errorf("buildGraph(%q): n = %d, want 256", tc.model, g.N())
+		}
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := buildGraph("nope", 256, 0, 0, 2.5, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := buildGraph("er-p", 256, 0, 0, 2.5, 1); err == nil {
+		t.Error("er-p without -p accepted")
+	}
+	if _, err := buildGraph("er-p", 256, 1.5, 0, 2.5, 1); err == nil {
+		t.Error("er-p with p > 1 accepted")
+	}
+}
+
+func TestRunOneSmoke(t *testing.T) {
+	g, err := buildGraph("er", 256, 0, 0, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for algo, want := range map[string]string{
+		"pushpull":       "msgs/node",
+		"fast":           "msgs/node",
+		"memory":         "msgs/node",
+		"memory-elect":   "election:",
+		"broadcast-push": "broadcast",
+	} {
+		var b strings.Builder
+		if err := runOne(&b, g, algo, 256, 1, 1, 0, false); err != nil {
+			t.Fatalf("runOne(%q): %v", algo, err)
+		}
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("runOne(%q) output missing %q:\n%s", algo, want, b.String())
+		}
+	}
+	var b strings.Builder
+	if err := runOne(&b, g, "memory", 256, 1, 3, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "robustness:") {
+		t.Errorf("failure run missing robustness report:\n%s", b.String())
+	}
+	if err := runOne(&b, g, "nope", 256, 1, 1, 0, false); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("512,1024..8192,9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{512, 1024, 2048, 4096, 8192, 9000}
+	if len(got) != len(want) {
+		t.Fatalf("parseSizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSizes = %v, want %v", got, want)
+		}
+	}
+	// A range whose top is off the doubling lattice still includes it.
+	got, err = parseSizes("1000..3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[len(got)-1] != 3000 {
+		t.Errorf("range top not included: %v", got)
+	}
+	for _, bad := range []string{"", "x", "0", "-4", "8..4", "1..x"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	grid, err := parseGrid("memory,fast", "er,complete", "256,512", "0.5,2", "0,1%", 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := grid.Scenarios()
+	// memory keeps the failures axis; fast has no crash model, so its
+	// failure dimension collapses to one zero-failure cell.
+	if want := 2*2*2*2 + 2*2*2; len(cells) != want {
+		t.Fatalf("grid expanded to %d cells, want %d", len(cells), want)
+	}
+	if grid.Seed != 9 || grid.Reps != 4 {
+		t.Errorf("grid seed/reps wrong: %+v", grid)
+	}
+	for _, bad := range [][5]string{
+		{"nope", "er", "256", "1", "0"},
+		{"pushpull", "nope", "256", "1", "0"},
+		{"pushpull", "er", "x", "1", "0"},
+		{"pushpull", "er", "256", "zero", "0"},
+		{"pushpull", "er", "256", "1", "many"},
+	} {
+		if _, err := parseGrid(bad[0], bad[1], bad[2], bad[3], bad[4], 1, 1); err == nil {
+			t.Errorf("parseGrid(%v) accepted", bad)
+		}
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	grid, err := parseGrid("pushpull", "er", "128,256", "1", "0", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := gossip.RunSweep(grid, 4)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	var b strings.Builder
+	if err := gossip.WriteSweepJSONL(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "\n"); n != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", n)
+	}
+	var tb strings.Builder
+	gossip.SweepTable("t", results).Render(&tb)
+	if !strings.Contains(tb.String(), "pushpull") {
+		t.Errorf("sweep table missing algo:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gossip"
+)
+
+// sweepMain runs `gossipsim sweep`: it declares a scenario grid from the
+// flags, executes it on the runner engine, prints the aggregate table, and
+// optionally streams per-cell JSON lines and CSV for downstream tooling.
+func sweepMain(args []string) {
+	fs := flag.NewFlagSet("gossipsim sweep", flag.ExitOnError)
+	var (
+		algos     = fs.String("algos", "pushpull", "comma-separated algorithms ("+strings.Join(gossip.SweepAlgos(), ", ")+")")
+		models    = fs.String("models", "er", "comma-separated graph models ("+strings.Join(gossip.SweepModels(), ", ")+")")
+		sizes     = fs.String("sizes", "1024", "graph sizes: comma-separated values and lo..hi doubling ranges (e.g. 1024..65536)")
+		densities = fs.String("densities", "1", "comma-separated density factors scaling the log²n operating point")
+		failures  = fs.String("failures", "0", "comma-separated failure counts, absolute or % of n (e.g. 0,1%,5%); algorithms without a crash model (all but memory) run once at 0")
+		reps      = fs.Int("reps", 3, "independent repetitions per cell")
+		seed      = fs.Uint64("seed", 1, "master seed (per-cell seeds derive from it and the cell index)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+		jsonOut   = fs.String("json", "", "write one JSON line per cell to this file (- for stdout)")
+		csvDir    = fs.String("csv", "", "also write <dir>/sweep.csv")
+		quiet     = fs.Bool("q", false, "suppress the table (useful with -json -)")
+	)
+	fs.Parse(args)
+
+	grid, err := parseGrid(*algos, *models, *sizes, *densities, *failures, *reps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	results := gossip.RunSweep(grid, *workers)
+	table := gossip.SweepTable(fmt.Sprintf("sweep: %d cells × %d reps, seed %d", len(results), *reps, *seed), results)
+	if !*quiet {
+		table.Render(os.Stdout)
+	}
+	if *jsonOut != "" {
+		if err := writeJSONL(*jsonOut, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := table.WriteCSV(*csvDir, "sweep"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s/sweep.csv\n", *csvDir)
+	}
+}
+
+// writeJSONL streams results to path ("-" for stdout), reporting a failed
+// flush-on-close as the write error it is.
+func writeJSONL(path string, results []gossip.SweepCellResult) error {
+	if path == "-" {
+		return gossip.WriteSweepJSONL(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gossip.WriteSweepJSONL(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseGrid assembles and validates a sweep grid from the flag strings.
+func parseGrid(algos, models, sizes, densities, failures string, reps int, seed uint64) (gossip.SweepGrid, error) {
+	ns, err := parseSizes(sizes)
+	if err != nil {
+		return gossip.SweepGrid{}, err
+	}
+	ds, err := parseFloats(densities)
+	if err != nil {
+		return gossip.SweepGrid{}, err
+	}
+	var fs []gossip.SweepFailureSpec
+	for _, part := range splitList(failures) {
+		f, err := gossip.ParseSweepFailureSpec(part)
+		if err != nil {
+			return gossip.SweepGrid{}, err
+		}
+		fs = append(fs, f)
+	}
+	grid := gossip.SweepGrid{
+		Algos:     splitList(algos),
+		Models:    splitList(models),
+		Sizes:     ns,
+		Densities: ds,
+		Failures:  fs,
+		Reps:      reps,
+		Seed:      seed,
+	}
+	if err := grid.Validate(); err != nil {
+		return gossip.SweepGrid{}, err
+	}
+	return grid, nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseSizes parses a size list: comma-separated entries that are either
+// single values ("4096") or lo..hi doubling ranges ("1024..65536" →
+// 1024, 2048, ..., 65536; hi is included even off the doubling lattice).
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		lo, hi, isRange := strings.Cut(part, "..")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a <= 0 {
+			return nil, fmt.Errorf("bad size %q in %q", lo, s)
+		}
+		if !isRange {
+			out = append(out, a)
+			continue
+		}
+		b, err := strconv.Atoi(hi)
+		if err != nil || b < a {
+			return nil, fmt.Errorf("bad size range %q", part)
+		}
+		for n := a; n < b; n *= 2 {
+			out = append(out, n)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size list %q", s)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -25,6 +25,16 @@
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 // results against the paper's.
 //
+// All experiment execution flows through one scenario-sweep engine
+// (internal/runner): an evaluation grid — algorithm × graph model ×
+// density × size × failure count, replicated over seeds — expands into
+// cells that run on a bounded worker pool, with per-cell seeds derived
+// from the master seed and the cell index so results are bit-identical at
+// any parallelism. The paper experiments declare their grids on it, and
+// RunSweep / SweepGrid (command line: `gossipsim sweep`) expose it
+// directly for custom sweeps — wider density ranges, larger sizes,
+// failure-rate scans — with aligned-table, CSV, and JSON-lines output.
+//
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.
 package gossip

@@ -2,11 +2,14 @@ package gossip
 
 import (
 	"fmt"
+	"io"
 
 	"gossip/internal/core"
 	"gossip/internal/exp"
 	"gossip/internal/graph"
+	"gossip/internal/runner"
 	"gossip/internal/stats"
+	"gossip/internal/sweep"
 	"gossip/internal/xrand"
 )
 
@@ -240,4 +243,50 @@ func Experiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
 		return nil, fmt.Errorf("gossip: unknown experiment %q (known: %v)", id, ExperimentIDs())
 	}
 	return mk(cfg), nil
+}
+
+// The scenario-sweep engine (internal/runner): declare a SweepGrid of
+// algorithm × graph model × density × size × failure-count cells, run it
+// with RunSweep, and render the per-cell aggregates as a table, CSV, or a
+// JSON-lines stream. Results are deterministic for a (grid, seed) pair at
+// any worker count; `gossipsim sweep` is the command-line front end.
+type (
+	// SweepScenario names one grid cell.
+	SweepScenario = runner.Scenario
+	// SweepGrid declares a cross-product of scenario dimensions.
+	SweepGrid = runner.Grid
+	// SweepFailureSpec is a failure count, absolute or a fraction of n.
+	SweepFailureSpec = runner.FailureSpec
+	// SweepCellResult aggregates one cell's repetitions per metric.
+	SweepCellResult = runner.CellResult
+)
+
+// SweepAlgos lists the algorithm names RunSweep understands.
+func SweepAlgos() []string { return runner.Algos() }
+
+// SweepModels lists the graph-model names RunSweep understands.
+func SweepModels() []string { return runner.Models() }
+
+// ParseSweepFailureSpec parses "5000" (absolute) or "2.5%" (fraction of n).
+func ParseSweepFailureSpec(s string) (SweepFailureSpec, error) {
+	return runner.ParseFailureSpec(s)
+}
+
+// RunSweep expands the grid and executes every cell on a bounded worker
+// pool (workers <= 0 uses GOMAXPROCS). Per-cell seeds derive from the
+// grid's master seed and the cell index, so results are bit-identical at
+// any parallelism.
+func RunSweep(g SweepGrid, workers int) []SweepCellResult {
+	r := &runner.Runner{Workers: workers}
+	return r.RunGrid(g)
+}
+
+// SweepTable renders sweep results as one row per cell.
+func SweepTable(title string, results []SweepCellResult) *sweep.Table {
+	return runner.Table(title, results)
+}
+
+// WriteSweepJSONL streams sweep results as one JSON object per cell.
+func WriteSweepJSONL(w io.Writer, results []SweepCellResult) error {
+	return runner.WriteJSONL(w, results)
 }

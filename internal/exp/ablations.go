@@ -6,6 +6,7 @@ import (
 	"gossip/internal/asciiplot"
 	"gossip/internal/core"
 	"gossip/internal/graph"
+	"gossip/internal/runner"
 	"gossip/internal/sweep"
 	"gossip/internal/xrand"
 )
@@ -49,47 +50,65 @@ func AblationDensity(cfg Config) *Report {
 	fg := asciiplot.Series{Name: "FastGossiping"}
 	mm := asciiplot.Series{Name: "Memory"}
 
-	runPoint := func(model string, degree float64, mk func(rep int) *graph.Graph) {
-		var ppS, fgS float64
-		ppAcc := sweep.Repeat(reps, func(rep int) float64 {
-			res := core.PushPull(mk(rep), runSeed(cfg, n, rep, 70), 0)
-			ppS += float64(res.Steps) / float64(reps)
-			return res.TransmissionsPerNode()
-		})
-		fgAcc := sweep.Repeat(reps, func(rep int) float64 {
-			res := core.FastGossip(mk(rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 71))
-			fgS += float64(res.Steps) / float64(reps)
-			return res.TransmissionsPerNode()
-		})
-		mmAcc := sweep.Repeat(reps, func(rep int) float64 {
-			res := core.MemoryGossip(mk(rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 72), -1)
-			return res.TransmissionsPerNode()
-		})
-		r.Table.AddRow(model, degree, ppAcc.Mean(), fgAcc.Mean(), mmAcc.Mean(), ppS, fgS)
-		pp.Xs, pp.Ys = append(pp.Xs, degree), append(pp.Ys, ppAcc.Mean())
-		fg.Xs, fg.Ys = append(fg.Xs, degree), append(fg.Ys, fgAcc.Mean())
-		mm.Xs, mm.Ys = append(mm.Xs, degree), append(mm.Ys, mmAcc.Mean())
+	// Grid: one cell per density point (four G(n,p) exponents plus the
+	// configuration-model comparison at the paper's density).
+	type point struct {
+		model  string
+		degree float64
+		mk     func(rep int) *graph.Graph
 	}
-
+	var grid []point
 	for _, e := range exponents {
 		p := graph.PLogPow(n, e)
 		degree := p * float64(n-1)
 		e := e
-		runPoint(fmt.Sprintf("G(n, log^%.1f n/n)", e), degree, func(rep int) *graph.Graph {
+		grid = append(grid, point{fmt.Sprintf("G(n, log^%.1f n/n)", e), degree, func(rep int) *graph.Graph {
 			seed := xrand.SeedFor(cfg.Seed, tagGraph, uint64(n), uint64(rep), uint64(e*10))
 			return graph.ErdosRenyi(n, p, xrand.New(seed))
-		})
+		}})
 	}
-	// Configuration-model comparison at the paper's density.
 	d := int(graph.PLogSquared(n) * float64(n))
 	if d%2 == 1 {
 		d++
 	}
-	runPoint("random d-regular", float64(d), func(rep int) *graph.Graph {
+	grid = append(grid, point{"random d-regular", float64(d), func(rep int) *graph.Graph {
 		seed := xrand.SeedFor(cfg.Seed, tagGraph, uint64(n), uint64(rep), 9999)
 		g, _ := graph.ConfigurationModel(n, d, xrand.New(seed))
 		return g
+	}})
+
+	type cell struct {
+		row        []any
+		pp, fg, mm float64
+	}
+	cells := runner.Map(cfg.Workers, grid, func(_ int, pt point) cell {
+		var ppS, fgS float64
+		ppAcc := sweep.Repeat(reps, func(rep int) float64 {
+			res := core.PushPull(pt.mk(rep), runSeed(cfg, n, rep, 70), 0)
+			ppS += float64(res.Steps) / float64(reps)
+			return res.TransmissionsPerNode()
+		})
+		fgAcc := sweep.Repeat(reps, func(rep int) float64 {
+			res := core.FastGossip(pt.mk(rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 71))
+			fgS += float64(res.Steps) / float64(reps)
+			return res.TransmissionsPerNode()
+		})
+		mmAcc := sweep.Repeat(reps, func(rep int) float64 {
+			res := core.MemoryGossip(pt.mk(rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 72), -1)
+			return res.TransmissionsPerNode()
+		})
+		return cell{
+			row: []any{pt.model, pt.degree, ppAcc.Mean(), fgAcc.Mean(), mmAcc.Mean(), ppS, fgS},
+			pp:  ppAcc.Mean(), fg: fgAcc.Mean(), mm: mmAcc.Mean(),
+		}
 	})
+	for i, pt := range grid {
+		c := cells[i]
+		r.Table.AddRow(c.row...)
+		pp.Xs, pp.Ys = append(pp.Xs, pt.degree), append(pp.Ys, c.pp)
+		fg.Xs, fg.Ys = append(fg.Xs, pt.degree), append(fg.Ys, c.fg)
+		mm.Xs, mm.Ys = append(mm.Xs, pt.degree), append(mm.Ys, c.mm)
+	}
 
 	r.Series = []asciiplot.Series{pp, fg, mm}
 	return r
@@ -125,7 +144,11 @@ func AblationWalkProb(cfg Config) *Report {
 		},
 	}
 	series := asciiplot.Series{Name: "FastGossiping"}
-	for _, ell := range factors {
+	type cell struct {
+		row  []any
+		mean float64
+	}
+	cells := runner.Map(cfg.Workers, factors, func(_ int, ell float64) cell {
 		var walkMsgs, p3Steps, totSteps float64
 		acc := sweep.Repeat(reps, func(rep int) float64 {
 			params := core.TunedFastGossipParams(n)
@@ -136,9 +159,12 @@ func AblationWalkProb(cfg Config) *Report {
 			totSteps += float64(res.Steps) / float64(reps)
 			return res.TransmissionsPerNode()
 		})
-		r.Table.AddRow(ell, acc.Mean(), walkMsgs, p3Steps, totSteps)
+		return cell{row: []any{ell, acc.Mean(), walkMsgs, p3Steps, totSteps}, mean: acc.Mean()}
+	})
+	for i, ell := range factors {
+		r.Table.AddRow(cells[i].row...)
 		series.Xs = append(series.Xs, ell)
-		series.Ys = append(series.Ys, acc.Mean())
+		series.Ys = append(series.Ys, cells[i].mean)
 	}
 	r.Series = []asciiplot.Series{series}
 	return r
@@ -167,7 +193,7 @@ func AblationMemorySlots(cfg Config) *Report {
 			"fewer slots allow repeat contacts during a long-step, wasting pushes; 4 slots guarantee 4 distinct children",
 		},
 	}
-	for _, slots := range []int{1, 2, 3, 4} {
+	rows := runner.Map(cfg.Workers, []int{1, 2, 3, 4}, func(_ int, slots int) []any {
 		completed := true
 		var opened float64
 		acc := sweep.Repeat(reps, func(rep int) float64 {
@@ -178,7 +204,10 @@ func AblationMemorySlots(cfg Config) *Report {
 			opened += res.OpenedPerNode() / float64(reps)
 			return res.TransmissionsPerNode()
 		})
-		r.Table.AddRow(slots, acc.Mean(), opened, completed)
+		return []any{slots, acc.Mean(), opened, completed}
+	})
+	for _, row := range rows {
+		r.Table.AddRow(row...)
 	}
 	return r
 }
@@ -206,7 +235,7 @@ func AblationTrees(cfg Config) *Report {
 			"the paper's robustness simulation uses 3 trees; Theorem 3 proves two independent runs already bound losses to |f|(1+o(1))",
 		},
 	}
-	for trees := 1; trees <= 4; trees++ {
+	rows := runner.Map(cfg.Workers, []int{1, 2, 3, 4}, func(_ int, trees int) []any {
 		var lost, ratioMax float64
 		acc := sweep.Repeat(reps, func(rep int) float64 {
 			params := core.TunedMemoryParams(n)
@@ -218,7 +247,10 @@ func AblationTrees(cfg Config) *Report {
 			}
 			return res.Ratio
 		})
-		r.Table.AddRow(trees, lost, acc.Mean(), ratioMax)
+		return []any{trees, lost, acc.Mean(), ratioMax}
+	})
+	for _, row := range rows {
+		r.Table.AddRow(row...)
 	}
 	return r
 }
@@ -248,19 +280,31 @@ func AblationBroadcast(cfg Config) *Report {
 			"push-only transmissions stay Θ(n·log n) regardless of density; push-pull rounds shrink with density but its sparse-graph message complexity cannot reach the complete-graph O(n·loglog n) ([19])",
 		},
 	}
+	// Grid: density × broadcast mode, modes innermost.
+	type point struct {
+		e    float64
+		mode core.BroadcastMode
+	}
+	var grid []point
 	for _, e := range exponents {
-		p := graph.PLogPow(n, e)
 		for _, mode := range []core.BroadcastMode{core.PushOnly, core.PullOnly, core.PushAndPull} {
-			var rounds float64
-			acc := sweep.Repeat(reps, func(rep int) float64 {
-				seed := xrand.SeedFor(cfg.Seed, tagGraph, uint64(n), uint64(rep), uint64(e*100))
-				g := graph.ErdosRenyi(n, p, xrand.New(seed))
-				res := core.Broadcast(g, 0, mode, runSeed(cfg, n, rep, 110+int(mode)), 0)
-				rounds += float64(res.Steps) / float64(reps)
-				return float64(res.Transmissions) / float64(n)
-			})
-			r.Table.AddRow(fmt.Sprintf("log^%.1f n", e), mode.String(), rounds, acc.Mean())
+			grid = append(grid, point{e, mode})
 		}
+	}
+	rows := runner.Map(cfg.Workers, grid, func(_ int, pt point) []any {
+		p := graph.PLogPow(n, pt.e)
+		var rounds float64
+		acc := sweep.Repeat(reps, func(rep int) float64 {
+			seed := xrand.SeedFor(cfg.Seed, tagGraph, uint64(n), uint64(rep), uint64(pt.e*100))
+			g := graph.ErdosRenyi(n, p, xrand.New(seed))
+			res := core.Broadcast(g, 0, pt.mode, runSeed(cfg, n, rep, 110+int(pt.mode)), 0)
+			rounds += float64(res.Steps) / float64(reps)
+			return float64(res.Transmissions) / float64(n)
+		})
+		return []any{fmt.Sprintf("log^%.1f n", pt.e), pt.mode.String(), rounds, acc.Mean()}
+	})
+	for _, row := range rows {
+		r.Table.AddRow(row...)
 	}
 	return r
 }

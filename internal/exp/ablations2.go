@@ -6,6 +6,7 @@ import (
 	"gossip/internal/asciiplot"
 	"gossip/internal/core"
 	"gossip/internal/graph"
+	"gossip/internal/runner"
 	"gossip/internal/sweep"
 )
 
@@ -28,25 +29,38 @@ func AblationComplete(cfg Config) *Report {
 			"the abstract's claim: per-node gossiping cost is the same on K_n and on G(n, log²n/n)",
 		},
 	}
+	// Grid: size × topology, topology innermost.
+	type point struct {
+		n    int
+		topo string
+	}
+	var grid []point
 	for _, n := range sizes {
 		for _, topo := range []string{"complete", "G(n,log²n/n)"} {
-			mk := func(rep int) *graph.Graph {
-				if topo == "complete" {
-					return graph.Complete(n)
-				}
-				return paperGraph(cfg, n, rep)
-			}
-			pp := sweep.Repeat(reps, func(rep int) float64 {
-				return core.PushPull(mk(rep), runSeed(cfg, n, rep, 120), 0).TransmissionsPerNode()
-			})
-			fg := sweep.Repeat(reps, func(rep int) float64 {
-				return core.FastGossip(mk(rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 121)).TransmissionsPerNode()
-			})
-			mm := sweep.Repeat(reps, func(rep int) float64 {
-				return core.MemoryGossip(mk(rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 122), -1).TransmissionsPerNode()
-			})
-			r.Table.AddRow(n, topo, pp.Mean(), fg.Mean(), mm.Mean())
+			grid = append(grid, point{n, topo})
 		}
+	}
+	rows := runner.Map(cfg.Workers, grid, func(_ int, pt point) []any {
+		n := pt.n
+		mk := func(rep int) *graph.Graph {
+			if pt.topo == "complete" {
+				return graph.Complete(n)
+			}
+			return paperGraph(cfg, n, rep)
+		}
+		pp := sweep.Repeat(reps, func(rep int) float64 {
+			return core.PushPull(mk(rep), runSeed(cfg, n, rep, 120), 0).TransmissionsPerNode()
+		})
+		fg := sweep.Repeat(reps, func(rep int) float64 {
+			return core.FastGossip(mk(rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 121)).TransmissionsPerNode()
+		})
+		mm := sweep.Repeat(reps, func(rep int) float64 {
+			return core.MemoryGossip(mk(rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 122), -1).TransmissionsPerNode()
+		})
+		return []any{n, pt.topo, pp.Mean(), fg.Mean(), mm.Mean()}
+	})
+	for _, row := range rows {
+		r.Table.AddRow(row...)
 	}
 	return r
 }
@@ -79,7 +93,11 @@ func AblationMedianCounter(cfg Config) *Report {
 	}
 	com := asciiplot.Series{Name: "complete"}
 	er := asciiplot.Series{Name: "G(n,log²n/n)"}
-	for _, n := range sizes {
+	type cell struct {
+		row     []any
+		com, er float64
+	}
+	cells := runner.Map(cfg.Workers, sizes, func(_ int, n int) cell {
 		params := core.DefaultMedianCounterParams(n)
 		quiesced := true
 		var rounds float64
@@ -94,9 +112,16 @@ func AblationMedianCounter(cfg Config) *Report {
 			rounds += float64(res.Steps) / float64(reps)
 			return float64(res.Transmissions) / float64(n)
 		})
-		r.Table.AddRow(n, core.LogLogn(n), cAcc.Mean(), eAcc.Mean(), rounds, quiesced)
-		com.Xs, com.Ys = append(com.Xs, float64(n)), append(com.Ys, cAcc.Mean())
-		er.Xs, er.Ys = append(er.Xs, float64(n)), append(er.Ys, eAcc.Mean())
+		return cell{
+			row: []any{n, core.LogLogn(n), cAcc.Mean(), eAcc.Mean(), rounds, quiesced},
+			com: cAcc.Mean(), er: eAcc.Mean(),
+		}
+	})
+	for i, n := range sizes {
+		c := cells[i]
+		r.Table.AddRow(c.row...)
+		com.Xs, com.Ys = append(com.Xs, float64(n)), append(com.Ys, c.com)
+		er.Xs, er.Ys = append(er.Xs, float64(n)), append(er.Ys, c.er)
 	}
 	r.Series = []asciiplot.Series{com, er}
 	return r
@@ -128,47 +153,59 @@ func AblationTradeoff(cfg Config) *Report {
 		},
 	}
 
-	addGossip := func(name string, run func(rep int) *core.Result) {
-		var rounds, opened float64
-		acc := sweep.Repeat(reps, func(rep int) float64 {
-			res := run(rep)
-			rounds += float64(res.Steps) / float64(reps)
-			opened += res.OpenedPerNode() / float64(reps)
-			return res.TransmissionsPerNode()
-		})
-		r.Table.AddRow(name, "gossip", rounds, acc.Mean(), opened)
+	// Grid: one cell per protocol row; the gossip rows share one body, the
+	// broadcast building blocks bring their own.
+	gossipRow := func(name string, run func(rep int) *core.Result) func() []any {
+		return func() []any {
+			var rounds, opened float64
+			acc := sweep.Repeat(reps, func(rep int) float64 {
+				res := run(rep)
+				rounds += float64(res.Steps) / float64(reps)
+				opened += res.OpenedPerNode() / float64(reps)
+				return res.TransmissionsPerNode()
+			})
+			return []any{name, "gossip", rounds, acc.Mean(), opened}
+		}
 	}
-	addGossip("push-pull (Alg 4)", func(rep int) *core.Result {
-		return core.PushPull(paperGraph(cfg, n, rep), runSeed(cfg, n, rep, 140), 0)
+	grid := []func() []any{
+		gossipRow("push-pull (Alg 4)", func(rep int) *core.Result {
+			return core.PushPull(paperGraph(cfg, n, rep), runSeed(cfg, n, rep, 140), 0)
+		}),
+		gossipRow("fast-gossiping (Alg 1, tuned)", func(rep int) *core.Result {
+			return core.FastGossip(paperGraph(cfg, n, rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 141))
+		}),
+		gossipRow("fast-gossiping (Alg 1, theory)", func(rep int) *core.Result {
+			return core.FastGossip(paperGraph(cfg, n, rep), core.TheoryFastGossipParams(n), runSeed(cfg, n, rep, 142))
+		}),
+		gossipRow("memory (Alg 2)", func(rep int) *core.Result {
+			return core.MemoryGossip(paperGraph(cfg, n, rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 143), -1)
+		}),
+		func() []any {
+			var mbRounds, mbOpen float64
+			mb := sweep.Repeat(reps, func(rep int) float64 {
+				res := core.MemoryBroadcast(paperGraph(cfg, n, rep), core.TunedMemoryParams(n), 0, runSeed(cfg, n, rep, 144))
+				mbRounds += float64(res.Steps) / float64(reps)
+				mbOpen += float64(res.Opened) / float64(n) / float64(reps)
+				return float64(res.Transmissions) / float64(n)
+			})
+			return []any{"memory broadcast ([20])", "broadcast", mbRounds, mb.Mean(), mbOpen}
+		},
+		func() []any {
+			var mcRounds, mcOpen float64
+			mc := sweep.Repeat(reps, func(rep int) float64 {
+				res := core.MedianCounterBroadcast(paperGraph(cfg, n, rep), 0, core.DefaultMedianCounterParams(n), runSeed(cfg, n, rep, 145))
+				mcRounds += float64(res.Steps) / float64(reps)
+				mcOpen += float64(res.Opened) / float64(n) / float64(reps)
+				return float64(res.Transmissions) / float64(n)
+			})
+			return []any{"median-counter ([34])", "broadcast", mcRounds, mc.Mean(), mcOpen}
+		},
+	}
+	rows := runner.Map(cfg.Workers, grid, func(_ int, mk func() []any) []any {
+		return mk()
 	})
-	addGossip("fast-gossiping (Alg 1, tuned)", func(rep int) *core.Result {
-		return core.FastGossip(paperGraph(cfg, n, rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 141))
-	})
-	addGossip("fast-gossiping (Alg 1, theory)", func(rep int) *core.Result {
-		return core.FastGossip(paperGraph(cfg, n, rep), core.TheoryFastGossipParams(n), runSeed(cfg, n, rep, 142))
-	})
-	addGossip("memory (Alg 2)", func(rep int) *core.Result {
-		return core.MemoryGossip(paperGraph(cfg, n, rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 143), -1)
-	})
-
-	// Broadcast building blocks.
-	var mbRounds, mbOpen float64
-	mb := sweep.Repeat(reps, func(rep int) float64 {
-		res := core.MemoryBroadcast(paperGraph(cfg, n, rep), core.TunedMemoryParams(n), 0, runSeed(cfg, n, rep, 144))
-		mbRounds += float64(res.Steps) / float64(reps)
-		mbOpen += float64(res.Opened) / float64(n) / float64(reps)
-		return float64(res.Transmissions) / float64(n)
-	})
-	r.Table.AddRow("memory broadcast ([20])", "broadcast", mbRounds, mb.Mean(), mbOpen)
-
-	var mcRounds, mcOpen float64
-	mc := sweep.Repeat(reps, func(rep int) float64 {
-		res := core.MedianCounterBroadcast(paperGraph(cfg, n, rep), 0, core.DefaultMedianCounterParams(n), runSeed(cfg, n, rep, 145))
-		mcRounds += float64(res.Steps) / float64(reps)
-		mcOpen += float64(res.Opened) / float64(n) / float64(reps)
-		return float64(res.Transmissions) / float64(n)
-	})
-	r.Table.AddRow("median-counter ([34])", "broadcast", mcRounds, mc.Mean(), mcOpen)
-
+	for _, row := range rows {
+		r.Table.AddRow(row...)
+	}
 	return r
 }

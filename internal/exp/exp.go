@@ -1,9 +1,13 @@
 // Package exp defines the reproduction experiments: one constructor per
 // table and figure of the paper's evaluation section (§5, Appendix C) plus
-// the ablation studies listed in DESIGN.md. Each experiment returns a
-// Report that renders as an aligned table and an ASCII plot and can be
-// exported as CSV; cmd/figures and the root bench harness both consume
-// them.
+// the ablation studies listed in DESIGN.md. Each experiment declares its
+// evaluation grid as a list of cells and executes them through the
+// internal/runner sweep engine (cells in parallel on a bounded pool,
+// repetitions sequential within a cell, all randomness derived from the
+// master seed), then assembles the results — in declaration order, so
+// output is byte-identical at any worker count — into a Report that
+// renders as an aligned table and an ASCII plot and can be exported as
+// CSV; cmd/figures and the root bench harness both consume them.
 package exp
 
 import (
@@ -31,6 +35,10 @@ type Config struct {
 	Failures []int
 	// Quick shrinks grids to bench/smoke scale.
 	Quick bool
+	// Workers bounds the scenario-sweep worker pool that executes grid
+	// cells (<= 0 uses GOMAXPROCS). Results are identical for any value:
+	// every cell derives its randomness from (Seed, n, rep) alone.
+	Workers int
 }
 
 func (c Config) reps(def, quickDef int) int {

@@ -5,6 +5,7 @@ import (
 
 	"gossip/internal/asciiplot"
 	"gossip/internal/core"
+	"gossip/internal/runner"
 	"gossip/internal/sweep"
 )
 
@@ -44,7 +45,12 @@ func Figure1(cfg Config) *Report {
 	fg := asciiplot.Series{Name: "FastGossiping"}
 	mm := asciiplot.Series{Name: "Memory"}
 
-	for _, n := range sizes {
+	// Grid: one cell per graph size, three algorithm variants per cell.
+	type cell struct {
+		row        []any
+		pp, fg, mm float64
+	}
+	cells := runner.Map(cfg.Workers, sizes, func(_ int, n int) cell {
 		var ppSteps, fgSteps, mmSteps float64
 		run := func(algo int, fn func(rep int) *core.Result) (mean, ci float64, steps float64) {
 			acc := sweep.Repeat(reps, func(rep int) float64 {
@@ -64,13 +70,19 @@ func Figure1(cfg Config) *Report {
 		mmm, mmc, mmSteps = run(2, func(rep int) *core.Result {
 			return core.MemoryGossip(paperGraph(cfg, n, rep), core.TunedMemoryParams(n), runSeed(cfg, n, rep, 2), -1)
 		})
-
-		r.Table.AddRow(n, ppm, fmt.Sprintf("%.2f", ppc), fgm, fmt.Sprintf("%.2f", fgc),
-			mmm, fmt.Sprintf("%.2f", mmc), ppSteps, fgSteps, mmSteps)
+		return cell{
+			row: []any{n, ppm, fmt.Sprintf("%.2f", ppc), fgm, fmt.Sprintf("%.2f", fgc),
+				mmm, fmt.Sprintf("%.2f", mmc), ppSteps, fgSteps, mmSteps},
+			pp: ppm, fg: fgm, mm: mmm,
+		}
+	})
+	for i, n := range sizes {
+		c := cells[i]
+		r.Table.AddRow(c.row...)
 		x := float64(n)
-		pp.Xs, pp.Ys = append(pp.Xs, x), append(pp.Ys, ppm)
-		fg.Xs, fg.Ys = append(fg.Xs, x), append(fg.Ys, fgm)
-		mm.Xs, mm.Ys = append(mm.Xs, x), append(mm.Ys, mmm)
+		pp.Xs, pp.Ys = append(pp.Xs, x), append(pp.Ys, c.pp)
+		fg.Xs, fg.Ys = append(fg.Xs, x), append(fg.Ys, c.fg)
+		mm.Xs, mm.Ys = append(mm.Xs, x), append(mm.Ys, c.mm)
 	}
 	r.Series = []asciiplot.Series{pp, fg, mm}
 	return r
@@ -109,7 +121,11 @@ func Figure4(cfg Config) *Report {
 		},
 	}
 	fg := asciiplot.Series{Name: "FastGossiping"}
-	for _, n := range sizes {
+	type cell struct {
+		row  []any
+		mean float64
+	}
+	cells := runner.Map(cfg.Workers, sizes, func(_ int, n int) cell {
 		var steps float64
 		acc := sweep.Repeat(reps, func(rep int) float64 {
 			res := core.FastGossip(paperGraph(cfg, n, rep), core.TunedFastGossipParams(n), runSeed(cfg, n, rep, 1))
@@ -117,10 +133,16 @@ func Figure4(cfg Config) *Report {
 			return res.TransmissionsPerNode()
 		})
 		p := core.TunedFastGossipParams(n)
-		r.Table.AddRow(n, acc.Mean(), fmt.Sprintf("%.2f", acc.CI95()), steps,
-			p.WalkProb*float64(p.Rounds))
+		return cell{
+			row: []any{n, acc.Mean(), fmt.Sprintf("%.2f", acc.CI95()), steps,
+				p.WalkProb * float64(p.Rounds)},
+			mean: acc.Mean(),
+		}
+	})
+	for i, n := range sizes {
+		r.Table.AddRow(cells[i].row...)
 		fg.Xs = append(fg.Xs, float64(n))
-		fg.Ys = append(fg.Ys, acc.Mean())
+		fg.Ys = append(fg.Ys, cells[i].mean)
 	}
 	r.Series = []asciiplot.Series{fg}
 	return r

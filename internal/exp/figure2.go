@@ -5,6 +5,7 @@ import (
 
 	"gossip/internal/asciiplot"
 	"gossip/internal/core"
+	"gossip/internal/runner"
 	"gossip/internal/sweep"
 )
 
@@ -27,10 +28,18 @@ func robustnessSweep(cfg Config, r *Report, n, reps int, failures []int) asciipl
 	series := asciiplot.Series{Name: fmt.Sprintf("n=%d", n)}
 	params := core.TunedMemoryParams(n)
 	params.Trees = 3
+	// Grid: one cell per admissible failure count.
+	grid := failures[:0:0]
 	for _, f := range failures {
-		if f >= n {
-			continue
+		if f < n {
+			grid = append(grid, f)
 		}
+	}
+	type cell struct {
+		row  []any
+		mean float64
+	}
+	cells := runner.Map(cfg.Workers, grid, func(_ int, f int) cell {
 		var lost float64
 		acc := sweep.Repeat(reps, func(rep int) float64 {
 			g := paperGraph(cfg, n, rep)
@@ -38,9 +47,15 @@ func robustnessSweep(cfg Config, r *Report, n, reps int, failures []int) asciipl
 			lost += float64(res.LostAdditional) / float64(reps)
 			return res.Ratio
 		})
-		r.Table.AddRow(n, f, acc.Mean(), fmt.Sprintf("%.3f", acc.CI95()), lost)
+		return cell{
+			row:  []any{n, f, acc.Mean(), fmt.Sprintf("%.3f", acc.CI95()), lost},
+			mean: acc.Mean(),
+		}
+	})
+	for i, f := range grid {
+		r.Table.AddRow(cells[i].row...)
 		series.Xs = append(series.Xs, float64(f))
-		series.Ys = append(series.Ys, acc.Mean())
+		series.Ys = append(series.Ys, cells[i].mean)
 	}
 	return series
 }
@@ -158,10 +173,13 @@ func Figure5(cfg Config) *Report {
 		params := core.TunedMemoryParams(n)
 		params.Trees = 3
 		series := asciiplot.Series{Name: fmt.Sprintf("n=%d T=0", n)}
+		grid := failures[:0:0]
 		for _, f := range failures {
-			if f >= n {
-				continue
+			if f < n {
+				grid = append(grid, f)
 			}
+		}
+		fracs := runner.Map(cfg.Workers, grid, func(_ int, f int) [3]float64 {
 			exceed := make([]int, len(thresholds))
 			for rep := 0; rep < reps; rep++ {
 				g := paperGraph(cfg, n, rep)
@@ -173,9 +191,12 @@ func Figure5(cfg Config) *Report {
 				}
 			}
 			frac := func(ti int) float64 { return float64(exceed[ti]) / float64(reps) }
-			r.Table.AddRow(n, f, frac(0), frac(1), frac(2))
+			return [3]float64{frac(0), frac(1), frac(2)}
+		})
+		for i, f := range grid {
+			r.Table.AddRow(n, f, fracs[i][0], fracs[i][1], fracs[i][2])
 			series.Xs = append(series.Xs, float64(f))
-			series.Ys = append(series.Ys, frac(0))
+			series.Ys = append(series.Ys, fracs[i][0])
 		}
 		r.Series = append(r.Series, series)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gossip/internal/core"
+	"gossip/internal/runner"
 	"gossip/internal/sweep"
 )
 
@@ -27,12 +28,14 @@ func Table1(cfg Config) *Report {
 		},
 	}
 
+	// Grid: one cell per table row, evaluated at every size.
+	type rowSpec struct {
+		algo, phase, limit, formula string
+		eval                        func(n int) string
+	}
+	var specs []rowSpec
 	row := func(algo, phase, limit, formula string, eval func(n int) string) {
-		cells := []any{algo, phase, limit, formula}
-		for _, n := range sizes {
-			cells = append(cells, eval(n))
-		}
-		r.Table.AddRow(cells...)
+		specs = append(specs, rowSpec{algo, phase, limit, formula, eval})
 	}
 
 	row("Algorithm 1", "I", "number of steps", "⌈1.2·loglog n⌉", func(n int) string {
@@ -63,6 +66,17 @@ func Table1(cfg Config) *Report {
 	row("Algorithm 2", "III", "number of push steps", "⌊log n⌋ (multiple of 4)", func(n int) string {
 		return fmt.Sprint(core.TunedMemoryParams(n).Phase3PushSteps)
 	})
+
+	rows := runner.Map(cfg.Workers, specs, func(_ int, s rowSpec) []any {
+		cells := []any{s.algo, s.phase, s.limit, s.formula}
+		for _, n := range sizes {
+			cells = append(cells, s.eval(n))
+		}
+		return cells
+	})
+	for _, cells := range rows {
+		r.Table.AddRow(cells...)
+	}
 	return r
 }
 

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"fmt"
+
+	"gossip/internal/core"
+	"gossip/internal/graph"
+	"gossip/internal/xrand"
+)
+
+// Seed-stream tags separating graph construction from protocol randomness
+// within one (cell, rep) seed.
+const (
+	tagGraph = 0x67726170 // "grap"
+	tagRun   = 0x72756e21 // "run!"
+)
+
+// Algos lists the algorithm names Execute understands, in menu order.
+func Algos() []string {
+	return []string{"pushpull", "fast", "fast-theory", "memory",
+		"broadcast-push", "broadcast-pull", "broadcast-pushpull"}
+}
+
+// Models lists the graph-model names Execute understands, in menu order.
+func Models() []string {
+	return []string{"er", "regular", "powerlaw", "complete"}
+}
+
+// AlgoUsesFailures reports whether the algorithm models crash failures
+// (only the memory model runs the §5 robustness experiment).
+func AlgoUsesFailures(algo string) bool { return algo == "memory" }
+
+// BuildGraph samples the scenario's topology from the given seed. The
+// density knob scales the expected degree relative to the paper's log²n
+// operating point (see Scenario.Density).
+func BuildGraph(s Scenario, seed uint64) (*graph.Graph, error) {
+	rng := xrand.New(seed)
+	d := s.density()
+	switch s.Model {
+	case "er":
+		p := d * graph.PLogSquared(s.N)
+		if p > 1 {
+			p = 1
+		}
+		return graph.ErdosRenyi(s.N, p, rng), nil
+	case "regular":
+		deg := int(d*graph.PLogSquared(s.N)*float64(s.N) + 0.5)
+		if deg < 3 {
+			deg = 3
+		}
+		if deg >= s.N {
+			deg = s.N - 1
+		}
+		if s.N*deg%2 == 1 {
+			deg++
+		}
+		return graph.RandomRegular(s.N, deg, rng), nil
+	case "powerlaw":
+		wmin := 8 * d
+		if wmin < 2 {
+			wmin = 2
+		}
+		return graph.ChungLu(graph.PowerLawWeights(s.N, 2.5, wmin), rng), nil
+	case "complete":
+		return graph.Complete(s.N), nil
+	default:
+		return nil, fmt.Errorf("runner: unknown model %q (known: %v)", s.Model, Models())
+	}
+}
+
+// Execute is the standard ExecFunc: it builds the scenario's graph and
+// runs its algorithm, both from streams split off the per-(cell, rep)
+// seed, and reports the common accounting metrics. Unknown algorithm or
+// model names panic — Validate a Grid's dimensions up front (the sweep
+// command does) to reject them before any work runs.
+func Execute(s Scenario, rep int, seed uint64) Metrics {
+	g, err := BuildGraph(s, xrand.SeedFor(seed, tagGraph))
+	if err != nil {
+		panic(err)
+	}
+	run := xrand.SeedFor(seed, tagRun)
+	b := func(x bool) float64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	gossipMetrics := func(res *core.Result) Metrics {
+		return Metrics{
+			"msgs_per_node": res.TransmissionsPerNode(),
+			"steps":         float64(res.Steps),
+			"completed":     b(res.Completed),
+		}
+	}
+	switch s.Algo {
+	case "pushpull":
+		return gossipMetrics(core.PushPull(g, run, 0))
+	case "fast":
+		return gossipMetrics(core.FastGossip(g, core.TunedFastGossipParams(s.N), run))
+	case "fast-theory":
+		return gossipMetrics(core.FastGossip(g, core.TheoryFastGossipParams(s.N), run))
+	case "memory":
+		params := core.TunedMemoryParams(s.N)
+		if s.Failures > 0 {
+			// The §5 robustness setting: 3 independent gather trees.
+			params.Trees = 3
+			res := core.MemoryRobustness(g, params, run, s.Failures)
+			return Metrics{
+				"ratio":           res.Ratio,
+				"lost_additional": float64(res.LostAdditional),
+				"failed":          float64(res.Failed),
+			}
+		}
+		return gossipMetrics(core.MemoryGossip(g, params, run, -1))
+	case "broadcast-push", "broadcast-pull", "broadcast-pushpull":
+		mode := map[string]core.BroadcastMode{
+			"broadcast-push":     core.PushOnly,
+			"broadcast-pull":     core.PullOnly,
+			"broadcast-pushpull": core.PushAndPull,
+		}[s.Algo]
+		res := core.Broadcast(g, 0, mode, run, 0)
+		return Metrics{
+			"msgs_per_node": float64(res.Transmissions) / float64(res.N),
+			"steps":         float64(res.Steps),
+			"completed":     b(res.Completed),
+		}
+	default:
+		panic(fmt.Errorf("runner: unknown algo %q (known: %v)", s.Algo, Algos()))
+	}
+}
+
+// Validate rejects grids whose algorithm or model names Execute would
+// panic on, before any cell runs.
+func (g Grid) Validate() error {
+	known := func(list []string, v string) bool {
+		for _, k := range list {
+			if k == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range g.algos() {
+		if !known(Algos(), a) {
+			return fmt.Errorf("runner: unknown algo %q (known: %v)", a, Algos())
+		}
+	}
+	for _, m := range g.models() {
+		if !known(Models(), m) {
+			return fmt.Errorf("runner: unknown model %q (known: %v)", m, Models())
+		}
+	}
+	for _, n := range g.sizes() {
+		if n < 2 {
+			return fmt.Errorf("runner: graph size %d out of range", n)
+		}
+	}
+	for _, d := range g.densities() {
+		if d <= 0 {
+			return fmt.Errorf("runner: density %g out of range (need > 0)", d)
+		}
+	}
+	// A failure count must leave at least the leader standing, for every
+	// size it will be resolved against (the robustness simulator crashes
+	// f random non-leader nodes).
+	for _, f := range g.failures() {
+		for _, n := range g.sizes() {
+			if got := f.Resolve(n); got >= n {
+				return fmt.Errorf("runner: failure count %s resolves to %d of n=%d nodes (need < n)", f, got, n)
+			}
+		}
+	}
+	return nil
+}

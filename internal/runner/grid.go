@@ -1,0 +1,178 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scenario names one cell of an evaluation grid.
+type Scenario struct {
+	// Index is the cell's position in its grid; per-rep seeds derive from
+	// the master seed and this index.
+	Index int `json:"index"`
+	// Algo selects the protocol: pushpull | fast | fast-theory | memory |
+	// broadcast-push | broadcast-pull | broadcast-pushpull.
+	Algo string `json:"algo"`
+	// Model selects the topology: er | regular | powerlaw | complete.
+	Model string `json:"model"`
+	// N is the number of nodes (= number of messages for gossiping).
+	N int `json:"n"`
+	// Density scales the expected degree relative to the paper's log²n
+	// operating point: er uses p = Density·log²n/n, regular uses
+	// d = Density·log²n, powerlaw scales the minimum expected degree.
+	// complete and hypercube ignore it. 0 means 1 (the paper's density).
+	Density float64 `json:"density"`
+	// Failures crashes that many random non-leader nodes before Phase II
+	// of the memory model (0 elsewhere).
+	Failures int `json:"failures"`
+	// Reps is the number of independent repetitions (seed-indexed).
+	Reps int `json:"reps"`
+}
+
+// String renders the cell compactly, e.g. "pushpull/er n=1024 d=1 f=0".
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/%s n=%d d=%g f=%d", s.Algo, s.Model, s.N, s.density(), s.Failures)
+}
+
+func (s Scenario) density() float64 {
+	if s.Density <= 0 {
+		return 1
+	}
+	return s.Density
+}
+
+// FailureSpec is a failure count, absolute or relative to the graph size.
+type FailureSpec struct {
+	Count int     // absolute count, used when Frac == 0
+	Frac  float64 // fraction of n in (0, 1]
+}
+
+// Resolve returns the concrete failure count for an n-node graph.
+func (f FailureSpec) Resolve(n int) int {
+	if f.Frac > 0 {
+		return int(f.Frac * float64(n))
+	}
+	return f.Count
+}
+
+func (f FailureSpec) String() string {
+	if f.Frac > 0 {
+		return fmt.Sprintf("%g%%", f.Frac*100)
+	}
+	return strconv.Itoa(f.Count)
+}
+
+// ParseFailureSpec parses "5000" (absolute) or "2.5%" (fraction of n).
+func ParseFailureSpec(s string) (FailureSpec, error) {
+	s = strings.TrimSpace(s)
+	if frac, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(frac, 64)
+		if err != nil || v < 0 || v > 100 {
+			return FailureSpec{}, fmt.Errorf("runner: bad failure percentage %q", s)
+		}
+		return FailureSpec{Frac: v / 100}, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return FailureSpec{}, fmt.Errorf("runner: bad failure count %q", s)
+	}
+	return FailureSpec{Count: v}, nil
+}
+
+// Grid declares a cross-product of scenario dimensions. Empty dimensions
+// default to a single neutral value (model "er", density 1, zero
+// failures), so only the axes under study need declaring.
+//
+// The dimension accessors below apply those defaults; Scenarios and
+// Validate share them so what is validated is what runs.
+type Grid struct {
+	Algos     []string
+	Models    []string
+	Sizes     []int
+	Densities []float64
+	Failures  []FailureSpec
+	// Reps is the per-cell repetition count (<= 0 means 1).
+	Reps int
+	// Seed is the master seed the Runner derives per-cell seeds from.
+	Seed uint64
+}
+
+func (g Grid) algos() []string {
+	if len(g.Algos) == 0 {
+		return []string{"pushpull"}
+	}
+	return g.Algos
+}
+
+func (g Grid) models() []string {
+	if len(g.Models) == 0 {
+		return []string{"er"}
+	}
+	return g.Models
+}
+
+func (g Grid) sizes() []int {
+	if len(g.Sizes) == 0 {
+		return []int{1024}
+	}
+	return g.Sizes
+}
+
+func (g Grid) densities() []float64 {
+	if len(g.Densities) == 0 {
+		return []float64{1}
+	}
+	return g.Densities
+}
+
+func (g Grid) failures() []FailureSpec {
+	if len(g.Failures) == 0 {
+		return []FailureSpec{{}}
+	}
+	return g.Failures
+}
+
+// Scenarios expands the grid into its work list. The nesting order is
+// algo > model > size > density > failures (failures innermost), and cell
+// indices follow that order, so a grid's seed assignment is reproducible
+// from its declaration alone. The failures axis collapses to a single
+// zero-failure cell for algorithms that do not model crash failures (only
+// the memory model does), so a mixed grid never reports failure cells
+// whose failures were silently ignored.
+func (g Grid) Scenarios() []Scenario {
+	algos := g.algos()
+	models := g.models()
+	sizes := g.sizes()
+	densities := g.densities()
+	failures := g.failures()
+	reps := g.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	out := make([]Scenario, 0, len(algos)*len(models)*len(sizes)*len(densities)*len(failures))
+	for _, algo := range algos {
+		fs := failures
+		if !AlgoUsesFailures(algo) {
+			fs = []FailureSpec{{}}
+		}
+		for _, model := range models {
+			for _, n := range sizes {
+				for _, d := range densities {
+					for _, f := range fs {
+						out = append(out, Scenario{
+							Index:    len(out),
+							Algo:     algo,
+							Model:    model,
+							N:        n,
+							Density:  d,
+							Failures: f.Resolve(n),
+							Reps:     reps,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gossip/internal/sweep"
+)
+
+// metricKeys returns the union of metric names across results, sorted.
+func metricKeys(results []CellResult) []string {
+	set := map[string]bool{}
+	for _, r := range results {
+		for k := range r.Metrics {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Table renders results as one row per cell: the scenario dimensions
+// followed by mean and 95% CI half-width of every metric.
+func Table(title string, results []CellResult) *sweep.Table {
+	keys := metricKeys(results)
+	cols := []string{"algo", "model", "n", "density", "failures"}
+	for _, k := range keys {
+		cols = append(cols, k, "±")
+	}
+	t := &sweep.Table{Title: title, Columns: cols}
+	for _, r := range results {
+		s := r.Scenario
+		cells := []any{s.Algo, s.Model, s.N, s.density(), s.Failures}
+		for _, k := range keys {
+			a, ok := r.Metrics[k]
+			if !ok {
+				cells = append(cells, "-", "-")
+				continue
+			}
+			cells = append(cells, a.Mean(), fmt.Sprintf("%.3g", a.CI95()))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// jsonAcc is the JSON shape of one aggregated metric.
+type jsonAcc struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	N    int64   `json:"n"`
+}
+
+// jsonCell is the JSON shape of one result line.
+type jsonCell struct {
+	Scenario
+	Metrics map[string]jsonAcc `json:"metrics"`
+}
+
+// WriteJSONL streams results as JSON lines, one object per grid cell, in
+// cell order. Each line carries the full scenario plus per-metric
+// aggregates, so downstream tooling needs no side channel to interpret a
+// row. The stream is deterministic: cell order and per-cell values are
+// independent of the worker count that produced the results.
+func WriteJSONL(w io.Writer, results []CellResult) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		line := jsonCell{Scenario: r.Scenario, Metrics: make(map[string]jsonAcc, len(r.Metrics))}
+		for k, a := range r.Metrics {
+			line.Metrics[k] = jsonAcc{
+				Mean: a.Mean(), CI95: a.CI95(), Min: a.Min(), Max: a.Max(), N: a.N(),
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("runner: write jsonl: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	cells := make([]int, 100)
+	for i := range cells {
+		cells[i] = i * 3
+	}
+	var calls atomic.Int64
+	out := Map(8, cells, func(i, c int) int {
+		calls.Add(1)
+		return c + i
+	})
+	if calls.Load() != 100 {
+		t.Fatalf("fn called %d times, want 100", calls.Load())
+	}
+	for i, v := range out {
+		if v != i*4 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*4)
+		}
+	}
+}
+
+func TestMapEmptyAndSerial(t *testing.T) {
+	if got := Map(4, nil, func(i, c int) int { return c }); len(got) != 0 {
+		t.Fatalf("empty cells gave %v", got)
+	}
+	out := Map(1, []int{5, 6}, func(i, c int) int { return c * c })
+	if out[0] != 25 || out[1] != 36 {
+		t.Fatalf("serial map wrong: %v", out)
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Algos:     []string{"memory", "fast"},
+		Models:    []string{"er", "regular"},
+		Sizes:     []int{512, 1024},
+		Densities: []float64{0.5, 2},
+		Failures:  []FailureSpec{{Count: 0}, {Frac: 0.01}},
+		Reps:      3,
+	}
+	cells := g.Scenarios()
+	// memory gets the full failures axis; fast (no crash model) collapses
+	// to one zero-failure cell per combination.
+	want := 2*2*2*2 + 2*2*2
+	if len(cells) != want {
+		t.Fatalf("expanded %d cells, want %d", len(cells), want)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		if c.Reps != 3 {
+			t.Fatalf("cell %d has reps %d", i, c.Reps)
+		}
+		if c.Algo != "memory" && c.Failures != 0 {
+			t.Fatalf("failure cell leaked to %s: %+v", c.Algo, c)
+		}
+	}
+	// Failures innermost: memory cells alternate 0, n/100.
+	if cells[0].Failures != 0 || cells[1].Failures != 5 {
+		t.Fatalf("failure resolution wrong: %d, %d", cells[0].Failures, cells[1].Failures)
+	}
+	// Algo outermost.
+	if cells[0].Algo != "memory" || cells[16].Algo != "fast" {
+		t.Fatalf("algo nesting wrong: %s, %s", cells[0].Algo, cells[16].Algo)
+	}
+}
+
+func TestGridDefaults(t *testing.T) {
+	cells := Grid{Sizes: []int{256}}.Scenarios()
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Algo != "pushpull" || c.Model != "er" || c.Failures != 0 || c.Reps != 1 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+}
+
+func TestParseFailureSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		n    int
+		want int
+	}{
+		{"0", 1000, 0},
+		{"250", 1000, 250},
+		{"1%", 1000, 10},
+		{"2.5%", 10000, 250},
+	} {
+		f, err := ParseFailureSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseFailureSpec(%q): %v", tc.in, err)
+		}
+		if got := f.Resolve(tc.n); got != tc.want {
+			t.Errorf("ParseFailureSpec(%q).Resolve(%d) = %d, want %d", tc.in, tc.n, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-3", "101%", "12%%"} {
+		if _, err := ParseFailureSpec(bad); err == nil {
+			t.Errorf("ParseFailureSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := (Grid{Algos: []string{"pushpull"}, Models: []string{"er"}, Sizes: []int{64}}).Validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	for _, bad := range []Grid{
+		{Algos: []string{"nope"}},
+		{Models: []string{"nope"}},
+		{Sizes: []int{1}},
+		{Densities: []float64{0}},
+		// Failure counts that would crash every node (the robustness
+		// simulator needs a surviving leader), absolute and relative —
+		// including against the defaulted size axis.
+		{Sizes: []int{128}, Failures: []FailureSpec{{Count: 128}}},
+		{Sizes: []int{128, 4096}, Failures: []FailureSpec{{Frac: 1}}},
+		{Failures: []FailureSpec{{Count: 1 << 20}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid grid %+v accepted", bad)
+		}
+	}
+	// A count valid for the larger size but not the smaller is rejected.
+	if err := (Grid{Sizes: []int{128, 4096}, Failures: []FailureSpec{{Count: 200}}}).Validate(); err == nil {
+		t.Error("failure count exceeding the smallest size accepted")
+	}
+}
+
+// sweepJSONL runs a small real grid at the given worker count and returns
+// the rendered JSONL stream.
+func sweepJSONL(t *testing.T, workers int) string {
+	t.Helper()
+	g := Grid{
+		Algos:    []string{"pushpull", "memory"},
+		Models:   []string{"er", "complete"},
+		Sizes:    []int{128, 256},
+		Failures: []FailureSpec{{Count: 0}, {Frac: 0.05}},
+		Reps:     2,
+		Seed:     42,
+	}
+	// pushpull collapses the failures axis (4 cells); memory keeps it (8).
+	r := &Runner{Workers: workers}
+	results := r.RunGrid(g)
+	if len(results) != 12 {
+		t.Fatalf("got %d results, want 12", len(results))
+	}
+	var b strings.Builder
+	if err := WriteJSONL(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := sweepJSONL(t, 1)
+	parallel := sweepJSONL(t, 8)
+	if serial != parallel {
+		t.Fatalf("results depend on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", serial, parallel)
+	}
+	if n := strings.Count(serial, "\n"); n != 12 {
+		t.Fatalf("JSONL has %d lines, want 12", n)
+	}
+	for _, want := range []string{`"algo":"pushpull"`, `"metrics"`, `"msgs_per_node"`, `"ratio"`} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("JSONL missing %s", want)
+		}
+	}
+}
+
+func TestExecuteAlgosAndModels(t *testing.T) {
+	for _, algo := range Algos() {
+		for _, model := range Models() {
+			s := Scenario{Algo: algo, Model: model, N: 128, Reps: 1}
+			m := Execute(s, 0, CellSeed(1, 0, 0))
+			if len(m) == 0 {
+				t.Fatalf("%s/%s: empty metrics", algo, model)
+			}
+			if _, ok := m["msgs_per_node"]; !ok {
+				t.Errorf("%s/%s: missing msgs_per_node", algo, model)
+			}
+		}
+	}
+	// memory + failures switches to the robustness metrics.
+	m := Execute(Scenario{Algo: "memory", Model: "er", N: 256, Failures: 10}, 0, CellSeed(1, 0, 0))
+	if _, ok := m["ratio"]; !ok {
+		t.Errorf("robustness run missing ratio: %v", m)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	g := Grid{Algos: []string{"pushpull"}, Sizes: []int{128}, Reps: 2, Seed: 1}
+	results := (&Runner{}).RunGrid(g)
+	tab := Table("sweep", results)
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"algo", "msgs_per_node", "pushpull", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStampsIndexAndSeedsByPosition(t *testing.T) {
+	// Hand-built scenario lists (zero Index) must still get one distinct
+	// seed stream per cell: Run seeds by slice position and stamps it.
+	scenarios := []Scenario{
+		{Algo: "pushpull", Model: "er", N: 128, Reps: 2},
+		{Algo: "pushpull", Model: "er", N: 128, Reps: 2},
+	}
+	var seeds []uint64
+	r := &Runner{Seed: 3, Exec: func(s Scenario, rep int, seed uint64) Metrics {
+		seeds = append(seeds, seed)
+		return Metrics{"x": float64(s.Index)}
+	}, Workers: 1}
+	results := r.Run(scenarios)
+	if results[0].Scenario.Index != 0 || results[1].Scenario.Index != 1 {
+		t.Fatalf("indices not stamped: %d, %d", results[0].Scenario.Index, results[1].Scenario.Index)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("identical cells received identical seeds")
+		}
+		seen[s] = true
+	}
+}
+
+func TestCellSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for cell := 0; cell < 50; cell++ {
+		for rep := 0; rep < 10; rep++ {
+			s := CellSeed(7, cell, rep)
+			if seen[s] {
+				t.Fatalf("seed collision at cell=%d rep=%d", cell, rep)
+			}
+			seen[s] = true
+		}
+	}
+}

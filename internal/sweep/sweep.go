@@ -70,8 +70,14 @@ type Table struct {
 	Rows    [][]string
 }
 
-// AddRow appends one formatted row; values are Sprinted with %v.
+// AddRow appends one formatted row; values are Sprinted with %v. When the
+// table has a header, extra cells beyond the column count are dropped (a
+// row wider than the header would make Render index past its width table
+// and panic).
 func (t *Table) AddRow(cells ...any) {
+	if len(t.Columns) > 0 && len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -103,7 +109,12 @@ func (t *Table) Render(w io.Writer) {
 	line := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			parts[i] = pad(c, widths[i])
+			// Cells past the header (rows appended directly to Rows)
+			// render unpadded instead of indexing past widths.
+			if i < len(widths) {
+				c = pad(c, widths[i])
+			}
+			parts[i] = c
 		}
 		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
 	}
@@ -126,7 +137,7 @@ func pad(s string, w int) string {
 }
 
 // WriteCSV writes the table as name.csv under dir (creating dir).
-func (t *Table) WriteCSV(dir, name string) error {
+func (t *Table) WriteCSV(dir, name string) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("sweep: create csv dir: %w", err)
 	}
@@ -134,7 +145,13 @@ func (t *Table) WriteCSV(dir, name string) error {
 	if err != nil {
 		return fmt.Errorf("sweep: create csv: %w", err)
 	}
-	defer f.Close()
+	// A failed Close is a failed flush to disk: report it rather than
+	// claiming success with a truncated file.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("sweep: close csv: %w", cerr)
+		}
+	}()
 	write := func(cells []string) error {
 		quoted := make([]string, len(cells))
 		for i, c := range cells {

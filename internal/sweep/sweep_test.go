@@ -51,6 +51,39 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableAddRowWiderThanHeader(t *testing.T) {
+	// Regression: a row with more cells than columns used to survive into
+	// Render, which indexes widths[i] sized by len(Columns) and panicked.
+	tb := Table{Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2, 3, 4)
+	if got := len(tb.Rows[0]); got != 2 {
+		t.Fatalf("row width = %d, want clamped to 2", got)
+	}
+	var b strings.Builder
+	tb.Render(&b) // must not panic
+	if !strings.Contains(b.String(), "1  2") {
+		t.Errorf("clamped row rendered wrong:\n%s", b.String())
+	}
+	// Headerless tables keep arbitrary-width rows (Render guards them).
+	free := Table{}
+	free.AddRow(1, 2, 3)
+	if len(free.Rows[0]) != 3 {
+		t.Errorf("headerless row clamped: %v", free.Rows[0])
+	}
+}
+
+func TestTableWriteCSVCloseError(t *testing.T) {
+	// Writing into a directory path fails at Create; the close-error path
+	// needs a file that opens but cannot flush, which portable tests can't
+	// force — so assert the error shape for the create failure and that a
+	// successful write still returns nil (covered in TestTableWriteCSV).
+	tb := Table{Columns: []string{"a"}}
+	tb.AddRow(1)
+	if err := tb.WriteCSV("/dev/null", "out"); err == nil {
+		t.Error("WriteCSV under /dev/null succeeded")
+	}
+}
+
 func TestTableWriteCSV(t *testing.T) {
 	dir := t.TempDir()
 	tb := Table{Columns: []string{"a", "b"}}
