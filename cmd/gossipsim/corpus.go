@@ -1,0 +1,168 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"gossip"
+)
+
+// archiveMain runs `gossipsim archive`: it lists a corpus's stored runs
+// (optionally filtered by grid coordinates) and imports run directories
+// into it, deduping on content-addressed IDs.
+//
+//	gossipsim archive -dir corpus                  # list stored runs
+//	gossipsim archive -dir corpus -add run1 -add run2
+//	gossipsim archive -dir corpus -algo sampled -n 1048576
+func archiveMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gossipsim archive", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var adds stringList
+	dir := fs.String("dir", "corpus", "corpus directory (created if missing)")
+	fs.Var(&adds, "add", "import this run directory into the corpus (repeatable)")
+	algo := fs.String("algo", "", "list only runs containing this algorithm")
+	model := fs.String("model", "", "list only runs containing this graph model")
+	n := fs.Int("n", 0, "list only runs containing this graph size")
+	density := fs.Float64("density", 0, "list only runs containing this density factor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	store, err := gossip.OpenCorpus(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, src := range adds {
+		run, err := gossip.OpenCorpusRun(src)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		stored, added, err := store.Import(run)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if added {
+			fmt.Fprintf(stdout, "imported %s as %s\n", src, stored.Manifest.ID)
+		} else {
+			fmt.Fprintf(stdout, "already stored: %s (%s)\n", stored.Manifest.ID, src)
+		}
+	}
+
+	runs, err := store.Select(gossip.CorpusFilter{Algo: *algo, Model: *model, N: *n, Density: *density})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(runs) == 0 {
+		fmt.Fprintf(stdout, "corpus %s: no matching runs\n", *dir)
+		return 0
+	}
+	fmt.Fprintf(stdout, "corpus %s: %d run(s)\n", *dir, len(runs))
+	for _, r := range runs {
+		m := r.Manifest
+		// One scan serves both the completeness check and the count.
+		recs, err := r.Records()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		state := "complete"
+		if len(recs) != m.Cells {
+			state = fmt.Sprintf("%d/%d cells", len(recs), m.Cells)
+		}
+		fmt.Fprintf(stdout, "  %s  %-14s seed=%-6d %s\n", m.ID, state, m.Grid.Seed, gridSummary(m))
+	}
+	return 0
+}
+
+// gridSummary renders a manifest's grid compactly for listings.
+func gridSummary(m gossip.CorpusManifest) string {
+	g := m.Grid
+	parts := []string{
+		"algos=" + strings.Join(g.Algos, ","),
+		"models=" + strings.Join(g.Models, ","),
+		fmt.Sprintf("sizes=%v densities=%v reps=%d", g.Sizes, g.Densities, g.Reps),
+	}
+	return strings.Join(parts, " ")
+}
+
+// compareMain runs `gossipsim compare <refRun> <candidateRun>`: it joins
+// the two stored runs on their grid coordinates, diffs every metric
+// under the given tolerances, renders the regression verdict table, and
+// exits 1 when the candidate regressed — the CI gate.
+func compareMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gossipsim compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	abs := fs.Float64("abs", 0, "absolute tolerance per metric mean")
+	rel := fs.Float64("rel", 0, "relative tolerance per metric mean (|new-ref| <= abs + rel*|ref|)")
+	quiet := fs.Bool("q", false, "suppress the per-metric table, print only the summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: gossipsim compare [-abs x] [-rel x] <reference-run-dir> <candidate-run-dir>")
+		return 2
+	}
+	ref, err := gossip.OpenCorpusRun(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cand, err := gossip.OpenCorpusRun(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cmp, err := gossip.CompareRuns(ref, cand, gossip.SweepTolerance{Abs: *abs, Rel: *rel})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if !*quiet {
+		cmp.Table().Render(stdout)
+	}
+	fmt.Fprintln(stdout, cmp.Summary())
+	if cmp.Regressed() {
+		return 1
+	}
+	return 0
+}
+
+// reportMain runs `gossipsim report <run>`: the stored run's aggregate
+// table plus ASCII plots of steps and messages/node against the run's
+// moving axis (density when the run sweeps densities, size otherwise).
+func reportMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gossipsim report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: gossipsim report <run-dir>")
+		return 2
+	}
+	run, err := gossip.OpenCorpusRun(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if err := gossip.ReportRun(stdout, run); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

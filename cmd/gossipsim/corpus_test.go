@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossip"
+)
+
+// writeRun executes a tiny checkpointed sweep and returns its directory.
+func writeRun(t *testing.T, seed uint64) string {
+	t.Helper()
+	gf := flags("pushpull,sampled", "er", "64,128", "1,2", "0", 2, seed)
+	grid, err := parseGrid(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, _, err := gossip.ExecuteSweepRun(dir, grid, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCompareMainGate(t *testing.T) {
+	a := writeRun(t, 1)
+	b := writeRun(t, 1) // same configuration: bit-identical
+	c := writeRun(t, 2) // different seed: drifts
+
+	var out, errw strings.Builder
+	if code := compareMain([]string{a, b}, &out, &errw); code != 0 {
+		t.Fatalf("identical runs exited %d: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := compareMain([]string{a, c}, &out, &errw); code != 1 {
+		t.Fatalf("drifted run exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("missing regression verdict:\n%s", out.String())
+	}
+	for _, col := range []string{"cell", "metric", "ref", "new", "delta", "verdict"} {
+		if !strings.Contains(out.String(), col) {
+			t.Errorf("verdict table missing column %q:\n%s", col, out.String())
+		}
+	}
+
+	// Usage errors exit 2.
+	if code := compareMain([]string{a}, &out, &errw); code != 2 {
+		t.Errorf("one-arg compare exited %d, want 2", code)
+	}
+	// A missing run errors cleanly.
+	if code := compareMain([]string{a, filepath.Join(t.TempDir(), "nope")}, &out, &errw); code != 1 {
+		t.Errorf("missing run exited %d, want 1", code)
+	}
+}
+
+func TestArchiveMainImportListFilter(t *testing.T) {
+	run := writeRun(t, 3)
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+
+	var out, errw strings.Builder
+	if code := archiveMain([]string{"-dir", corpusDir, "-add", run}, &out, &errw); code != 0 {
+		t.Fatalf("archive import exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "imported") || !strings.Contains(out.String(), "complete") {
+		t.Errorf("import listing wrong:\n%s", out.String())
+	}
+
+	// Re-import dedupes.
+	out.Reset()
+	if code := archiveMain([]string{"-dir", corpusDir, "-add", run}, &out, &errw); code != 0 {
+		t.Fatal("re-import failed")
+	}
+	if !strings.Contains(out.String(), "already stored") {
+		t.Errorf("dedupe not reported:\n%s", out.String())
+	}
+
+	// Filtered listing: a matching filter shows the run, a missing one
+	// does not.
+	out.Reset()
+	if code := archiveMain([]string{"-dir", corpusDir, "-algo", "sampled"}, &out, &errw); code != 0 {
+		t.Fatal("filtered list failed")
+	}
+	if !strings.Contains(out.String(), "1 run(s)") {
+		t.Errorf("algo filter missed the run:\n%s", out.String())
+	}
+	out.Reset()
+	if code := archiveMain([]string{"-dir", corpusDir, "-algo", "memory"}, &out, &errw); code != 0 {
+		t.Fatal("empty list failed")
+	}
+	if !strings.Contains(out.String(), "no matching runs") {
+		t.Errorf("memory filter matched:\n%s", out.String())
+	}
+}
+
+func TestReportMainRendersTableAndPlot(t *testing.T) {
+	run := writeRun(t, 4)
+	var out, errw strings.Builder
+	if code := reportMain([]string{run}, &out, &errw); code != 0 {
+		t.Fatalf("report exited %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"run ", "algo", "steps vs density", "legend:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := reportMain([]string{}, &out, &errw); code != 2 {
+		t.Errorf("no-arg report exited %d, want 2", code)
+	}
+}
+
+// TestSweepResumeCLI exercises the acceptance flow end to end at the
+// command layer: a run killed mid-flight (simulated by truncating its
+// checkpoint) resumed with -resume yields a bit-identical cells.jsonl.
+func TestSweepResumeCLI(t *testing.T) {
+	gf := flags("pushpull", "er", "64,128,256", "1,2", "0", 2, 11)
+	grid, err := parseGrid(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if _, _, err := gossip.ExecuteSweepRun(refDir, grid, 3, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(filepath.Join(refDir, "cells.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := filepath.Join(t.TempDir(), "killed")
+	if err := os.MkdirAll(killed, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man, err := os.ReadFile(filepath.Join(refDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(killed, "manifest.json"), man, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Torn mid-line cut.
+	if err := os.WriteFile(filepath.Join(killed, "cells.jsonl"), ref[:len(ref)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := gossip.ExecuteSweepRun(killed, grid, 3, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(killed, "cells.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(ref) {
+		t.Error("resumed cells.jsonl differs from uninterrupted run")
+	}
+
+	// Without -resume the existing run is protected.
+	if _, _, err := gossip.ExecuteSweepRun(refDir, grid, 3, false, nil); err == nil {
+		t.Error("re-running into an existing run dir without resume succeeded")
+	}
+}

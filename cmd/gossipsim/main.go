@@ -10,13 +10,21 @@
 //	gossipsim -algo broadcast-push -n 8192 -model regular -degree 64
 //
 // Sweep mode expands a declarative scenario grid (algorithm × graph model
-// × density × size × failure count) and executes it on the parallel
-// runner engine, with deterministic per-cell seeds, an aggregate table,
-// and optional JSON-lines / CSV export:
+// × density × size × failure count × algorithm knobs) and executes it on
+// the parallel runner engine, with deterministic per-cell seeds, an
+// aggregate table, and optional JSON-lines / CSV export:
 //
 //	gossipsim sweep -algos pushpull,fast -models er,regular,powerlaw \
 //	    -sizes 1024..65536 -densities 0.5,1,2,4 -failures 0,1%,5% \
 //	    -reps 10 -json out.jsonl
+//
+// Sweeps checkpoint to a run directory with -out and resume with
+// -resume; the corpus subcommands store, diff and render such runs:
+//
+//	gossipsim sweep -sizes 1024..1048576 -algos sampled -out run/ -resume
+//	gossipsim archive -dir corpus -add run/
+//	gossipsim compare baseline-run/ candidate-run/     # exit 1 on regression
+//	gossipsim report run/
 package main
 
 import (
@@ -29,9 +37,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		sweepMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			sweepMain(os.Args[2:])
+			return
+		case "archive":
+			os.Exit(archiveMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "compare":
+			os.Exit(compareMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "report":
+			os.Exit(reportMain(os.Args[2:], os.Stdout, os.Stderr))
+		}
 	}
 	var (
 		algo     = flag.String("algo", "pushpull", "pushpull | fast | fast-theory | memory | memory-elect | broadcast-push | broadcast-pull | broadcast-pushpull")

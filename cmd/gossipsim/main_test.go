@@ -102,8 +102,17 @@ func TestParseSizes(t *testing.T) {
 	}
 }
 
+// flags returns a baseline gridFlags that tests override per case.
+func flags(algos, models, sizes, densities, failures string, reps int, seed uint64) gridFlags {
+	return gridFlags{
+		algos: algos, models: models, sizes: sizes,
+		densities: densities, failures: failures,
+		reps: reps, seed: seed,
+	}
+}
+
 func TestParseGrid(t *testing.T) {
-	grid, err := parseGrid("memory,fast", "er,complete", "256,512", "0.5,2", "0,1%", 4, 9)
+	grid, err := parseGrid(flags("memory,fast", "er,complete", "256,512", "0.5,2", "0,1%", 4, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,14 +132,40 @@ func TestParseGrid(t *testing.T) {
 		{"pushpull", "er", "256", "zero", "0"},
 		{"pushpull", "er", "256", "1", "many"},
 	} {
-		if _, err := parseGrid(bad[0], bad[1], bad[2], bad[3], bad[4], 1, 1); err == nil {
+		if _, err := parseGrid(flags(bad[0], bad[1], bad[2], bad[3], bad[4], 1, 1)); err == nil {
 			t.Errorf("parseGrid(%v) accepted", bad)
 		}
 	}
 }
 
+func TestParseGridKnobAxes(t *testing.T) {
+	gf := flags("memory,fast", "er", "256", "1", "0", 2, 7)
+	gf.trees = "1,3"
+	gf.memslots = "2,4"
+	gf.walkprobs = "0.1,0.5"
+	grid, err := parseGrid(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// memory multiplies over trees × memslots (walkprob collapses);
+	// fast multiplies over walkprobs (trees/memslots collapse).
+	cells := grid.Scenarios()
+	if want := 2*2 + 2; len(cells) != want {
+		t.Fatalf("grid expanded to %d cells, want %d", len(cells), want)
+	}
+	for _, bad := range []gridFlags{
+		{algos: "memory", models: "er", sizes: "256", densities: "1", failures: "0", trees: "x", reps: 1, seed: 1},
+		{algos: "memory", models: "er", sizes: "256", densities: "1", failures: "0", memslots: "-2", reps: 1, seed: 1},
+		{algos: "fast", models: "er", sizes: "256", densities: "1", failures: "0", walkprobs: "1.5", reps: 1, seed: 1},
+	} {
+		if _, err := parseGrid(bad); err == nil {
+			t.Errorf("parseGrid(%+v) accepted", bad)
+		}
+	}
+}
+
 func TestSweepEndToEnd(t *testing.T) {
-	grid, err := parseGrid("pushpull", "er", "128,256", "1", "0", 2, 3)
+	grid, err := parseGrid(flags("pushpull", "er", "128,256", "1", "0", 2, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -10,41 +11,95 @@ import (
 	"gossip"
 )
 
+// gridFlags holds the raw flag values a sweep grid is parsed from.
+type gridFlags struct {
+	algos, models, sizes, densities, failures string
+	trees, memslots, walkprobs                string
+	sampleK, reps                             int
+	seed                                      uint64
+}
+
 // sweepMain runs `gossipsim sweep`: it declares a scenario grid from the
-// flags, executes it on the runner engine, prints the aggregate table, and
-// optionally streams per-cell JSON lines and CSV for downstream tooling.
+// flags, executes it on the runner engine — checkpointing to a run
+// directory when -out is set, resuming a killed run's completed prefix
+// with -resume — prints the aggregate table, and optionally streams
+// per-cell JSON lines (as each cell completes, in cell order) and CSV.
 func sweepMain(args []string) {
 	fs := flag.NewFlagSet("gossipsim sweep", flag.ExitOnError)
+	var gf gridFlags
+	fs.StringVar(&gf.algos, "algos", "pushpull", "comma-separated algorithms ("+strings.Join(gossip.SweepAlgos(), ", ")+")")
+	fs.StringVar(&gf.models, "models", "er", "comma-separated graph models ("+strings.Join(gossip.SweepModels(), ", ")+")")
+	fs.StringVar(&gf.sizes, "sizes", "1024", "graph sizes: comma-separated values and lo..hi doubling ranges (e.g. 1024..65536)")
+	fs.StringVar(&gf.densities, "densities", "1", "comma-separated density factors scaling the log²n operating point")
+	fs.StringVar(&gf.failures, "failures", "0", "comma-separated failure counts, absolute or % of n (e.g. 0,1%,5%); algorithms without a crash model (all but memory) run once at 0")
+	fs.StringVar(&gf.trees, "trees", "", "comma-separated gather-tree counts for the memory model (empty = schedule default)")
+	fs.StringVar(&gf.memslots, "memslots", "", "comma-separated per-node link memory capacities for the memory model (empty = the paper's 4)")
+	fs.StringVar(&gf.walkprobs, "walkprob", "", "comma-separated walk start probabilities for fast-gossip (empty = the schedule's 1/log n)")
+	fs.IntVar(&gf.sampleK, "k", 0, "tracked messages for the sampled estimator (0 = 64); Θ(n·k) memory reaches n = 10⁶ where exact tracking walls")
+	fs.IntVar(&gf.reps, "reps", 3, "independent repetitions per cell")
+	fs.Uint64Var(&gf.seed, "seed", 1, "master seed (per-cell seeds derive from it and the cell index)")
 	var (
-		algos     = fs.String("algos", "pushpull", "comma-separated algorithms ("+strings.Join(gossip.SweepAlgos(), ", ")+")")
-		models    = fs.String("models", "er", "comma-separated graph models ("+strings.Join(gossip.SweepModels(), ", ")+")")
-		sizes     = fs.String("sizes", "1024", "graph sizes: comma-separated values and lo..hi doubling ranges (e.g. 1024..65536)")
-		densities = fs.String("densities", "1", "comma-separated density factors scaling the log²n operating point")
-		failures  = fs.String("failures", "0", "comma-separated failure counts, absolute or % of n (e.g. 0,1%,5%); algorithms without a crash model (all but memory) run once at 0")
-		reps      = fs.Int("reps", 3, "independent repetitions per cell")
-		seed      = fs.Uint64("seed", 1, "master seed (per-cell seeds derive from it and the cell index)")
-		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results are identical for any value)")
-		jsonOut   = fs.String("json", "", "write one JSON line per cell to this file (- for stdout)")
-		csvDir    = fs.String("csv", "", "also write <dir>/sweep.csv")
-		quiet     = fs.Bool("q", false, "suppress the table (useful with -json -)")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+		jsonOut = fs.String("json", "", "stream one JSON line per cell to this file (- for stdout), written as cells complete")
+		csvDir  = fs.String("csv", "", "also write <dir>/sweep.csv")
+		out     = fs.String("out", "", "checkpoint the sweep to this run directory (manifest.json + cells.jsonl)")
+		resume  = fs.Bool("resume", false, "with -out: resume a killed run, skipping its completed cells")
+		quiet   = fs.Bool("q", false, "suppress the table (useful with -json -)")
 	)
 	fs.Parse(args)
 
-	grid, err := parseGrid(*algos, *models, *sizes, *densities, *failures, *reps, *seed)
+	grid, err := parseGrid(gf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	results := gossip.RunSweep(grid, *workers)
-	table := gossip.SweepTable(fmt.Sprintf("sweep: %d cells × %d reps, seed %d", len(results), *reps, *seed), results)
-	if !*quiet {
-		table.Render(os.Stdout)
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "gossipsim sweep: -resume requires -out")
+		os.Exit(2)
 	}
-	if *jsonOut != "" {
-		if err := writeJSONL(*jsonOut, results); err != nil {
+
+	var records []gossip.SweepRecord
+	if *out != "" {
+		// -json alongside -out tees the checkpoint stream: each cell
+		// goes to the JSON sink in cell order as it completes (a
+		// resumed run replays its loaded prefix first), same as the
+		// standalone -json path.
+		sink, closeSink, err := openJSONSink(*jsonOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		run, recs, err := gossip.ExecuteSweepRun(*out, grid, *workers, *resume, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := closeSink(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		records = recs
+		fmt.Fprintf(os.Stderr, "run %s: %d cells in %s\n", run.Manifest.ID, len(recs), *out)
+	} else if *jsonOut != "" {
+		// Stream each cell as it completes instead of buffering the
+		// whole sweep: long sweeps become observable line by line.
+		records, err = runStreaming(grid, *workers, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		results := gossip.RunSweep(grid, *workers)
+		records = make([]gossip.SweepRecord, len(results))
+		for i, r := range results {
+			records[i] = r.Record()
+		}
+	}
+
+	table := gossip.SweepRecordTable(
+		fmt.Sprintf("sweep: %d cells × %d reps, seed %d", len(records), gf.reps, gf.seed), records)
+	if !*quiet {
+		table.Render(os.Stdout)
 	}
 	if *csvDir != "" {
 		if err := table.WriteCSV(*csvDir, "sweep"); err != nil {
@@ -55,49 +110,113 @@ func sweepMain(args []string) {
 	}
 }
 
-// writeJSONL streams results to path ("-" for stdout), reporting a failed
-// flush-on-close as the write error it is.
-func writeJSONL(path string, results []gossip.SweepCellResult) error {
-	if path == "-" {
-		return gossip.WriteSweepJSONL(os.Stdout, results)
+// runStreaming executes the grid with per-cell JSONL streaming to path
+// ("-" for stdout) and returns the serialized results.
+func runStreaming(grid gossip.SweepGrid, workers int, path string) ([]gossip.SweepRecord, error) {
+	sink := io.Writer(os.Stdout)
+	var f *os.File
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return nil, err
+		}
+		sink = f
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	stream := gossip.NewSweepStream(sink)
+	results := gossip.RunSweepStream(grid, workers, stream.Add)
+	if err := stream.Err(); err != nil {
+		if f != nil {
+			f.Close()
+		}
+		return nil, err
 	}
-	if err := gossip.WriteSweepJSONL(f, results); err != nil {
-		f.Close()
-		return err
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("close %s: %w", path, err)
+		}
 	}
-	return f.Close()
+	records := make([]gossip.SweepRecord, len(results))
+	for i, r := range results {
+		records[i] = r.Record()
+	}
+	return records, nil
 }
 
-// parseGrid assembles and validates a sweep grid from the flag strings.
-func parseGrid(algos, models, sizes, densities, failures string, reps int, seed uint64) (gossip.SweepGrid, error) {
-	ns, err := parseSizes(sizes)
+// openJSONSink returns a per-record JSONL emitter for path ("" = none,
+// "-" = stdout) and a close function reporting any write error — a
+// failed flush-on-close included.
+func openJSONSink(path string) (func(gossip.SweepRecord), func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var f *os.File
+	sink := io.Writer(os.Stdout)
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return nil, nil, err
+		}
+		sink = f
+	}
+	var writeErr error
+	emit := func(r gossip.SweepRecord) {
+		if writeErr == nil {
+			writeErr = gossip.WriteSweepRecordJSONL(sink, []gossip.SweepRecord{r})
+		}
+	}
+	finish := func() error {
+		if f != nil {
+			if err := f.Close(); err != nil && writeErr == nil {
+				writeErr = fmt.Errorf("close %s: %w", path, err)
+			}
+		}
+		return writeErr
+	}
+	return emit, finish, nil
+}
+
+// parseGrid assembles and validates a sweep grid from the flag values.
+func parseGrid(gf gridFlags) (gossip.SweepGrid, error) {
+	ns, err := parseSizes(gf.sizes)
 	if err != nil {
 		return gossip.SweepGrid{}, err
 	}
-	ds, err := parseFloats(densities)
+	ds, err := parseFloats(gf.densities)
 	if err != nil {
 		return gossip.SweepGrid{}, err
 	}
 	var fs []gossip.SweepFailureSpec
-	for _, part := range splitList(failures) {
+	for _, part := range splitList(gf.failures) {
 		f, err := gossip.ParseSweepFailureSpec(part)
 		if err != nil {
 			return gossip.SweepGrid{}, err
 		}
 		fs = append(fs, f)
 	}
+	trees, err := parseInts(gf.trees)
+	if err != nil {
+		return gossip.SweepGrid{}, err
+	}
+	memslots, err := parseInts(gf.memslots)
+	if err != nil {
+		return gossip.SweepGrid{}, err
+	}
+	walkprobs, err := parseFloatList(gf.walkprobs)
+	if err != nil {
+		return gossip.SweepGrid{}, err
+	}
 	grid := gossip.SweepGrid{
-		Algos:     splitList(algos),
-		Models:    splitList(models),
+		Algos:     splitList(gf.algos),
+		Models:    splitList(gf.models),
 		Sizes:     ns,
 		Densities: ds,
 		Failures:  fs,
-		Reps:      reps,
-		Seed:      seed,
+		Trees:     trees,
+		MemSlots:  memslots,
+		WalkProbs: walkprobs,
+		SampleK:   gf.sampleK,
+		Reps:      gf.reps,
+		Seed:      gf.seed,
 	}
 	if err := grid.Validate(); err != nil {
 		return gossip.SweepGrid{}, err
@@ -146,13 +265,37 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-// parseFloats parses a comma-separated float list.
+// parseFloats parses a comma-separated float list; empty input errors.
 func parseFloats(s string) ([]float64, error) {
+	out, err := parseFloatList(s)
+	if err == nil && len(out) == 0 {
+		return nil, fmt.Errorf("empty float list %q", s)
+	}
+	return out, err
+}
+
+// parseFloatList parses a comma-separated float list; empty input is an
+// empty (defaulted) axis.
+func parseFloatList(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range splitList(s) {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad float %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated int list; empty input is an empty
+// (defaulted) axis.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q in %q", part, s)
 		}
 		out = append(out, v)
 	}

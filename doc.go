@@ -27,13 +27,48 @@
 //
 // All experiment execution flows through one scenario-sweep engine
 // (internal/runner): an evaluation grid — algorithm × graph model ×
-// density × size × failure count, replicated over seeds — expands into
-// cells that run on a bounded worker pool, with per-cell seeds derived
-// from the master seed and the cell index so results are bit-identical at
-// any parallelism. The paper experiments declare their grids on it, and
-// RunSweep / SweepGrid (command line: `gossipsim sweep`) expose it
-// directly for custom sweeps — wider density ranges, larger sizes,
-// failure-rate scans — with aligned-table, CSV, and JSON-lines output.
+// density × size × failure count × algorithm knobs (gather trees, link
+// memory slots, walk probability, sampled-tracker size), replicated over
+// seeds — expands into cells that run on a bounded worker pool, with
+// per-cell seeds derived from the master seed and the cell index so
+// results are bit-identical at any parallelism. The paper experiments
+// declare their grids on it, and RunSweep / SweepGrid (command line:
+// `gossipsim sweep`) expose it directly for custom sweeps — wider
+// density ranges, larger sizes (the "sampled" estimator reaches n = 10⁶
+// in Θ(n·k) tracker memory), failure-rate scans — with aligned-table,
+// CSV, and JSON-lines output.
+//
+// # The sweep corpus
+//
+// Sweep results persist as runs (OpenCorpusRun, ExecuteSweepRun,
+// `gossipsim sweep -out`): a run is a directory holding
+//
+//	manifest.json   {"id", "grid", "cells", "workers", "created_at",
+//	                 "version"} — the canonical grid declaration (every
+//	                 axis explicit, master seed included), the expanded
+//	                 cell count, and provenance. "id" is the
+//	                 content-addressed run ID: hex(SHA-256(canonical
+//	                 grid JSON))[:16], so identical configurations map
+//	                 to identical IDs and a corpus (OpenCorpus,
+//	                 `gossipsim archive`) dedupes replays.
+//	cells.jsonl     one SweepRecord JSON object per line, in cell-index
+//	                 order: the full scenario ("index", "algo", "model",
+//	                 "n", "density", "failures", optional knobs, "reps")
+//	                 plus "metrics", a name → {"mean", "ci95", "min",
+//	                 "max", "n"} aggregate map.
+//
+// cells.jsonl is streamed in strict cell order as cells complete, so at
+// every instant — including after a kill — the file is a valid prefix of
+// the full sweep. `gossipsim sweep -out dir -resume` (ExecuteSweepRun
+// with resume) verifies the stored grid hash, truncates a torn final
+// line, skips the completed prefix, and appends the missing suffix;
+// because per-cell seeds derive from cell indices, the finished file is
+// bit-identical to an uninterrupted run's. CompareRuns (`gossipsim
+// compare`, nonzero exit on regression) joins two stored runs on their
+// grid coordinates and diffs every metric under absolute+relative
+// tolerances; ReportRun (`gossipsim report`) renders a stored run as a
+// table plus ASCII density-vs-rounds plots. See examples/regressiongate
+// for the archive→compare CI gate.
 //
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.

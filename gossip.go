@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gossip/internal/core"
+	"gossip/internal/corpus"
 	"gossip/internal/exp"
 	"gossip/internal/graph"
 	"gossip/internal/runner"
@@ -289,4 +290,94 @@ func SweepTable(title string, results []SweepCellResult) *sweep.Table {
 // WriteSweepJSONL streams sweep results as one JSON object per cell.
 func WriteSweepJSONL(w io.Writer, results []SweepCellResult) error {
 	return runner.WriteJSONL(w, results)
+}
+
+// The sweep corpus (internal/corpus): a persistent store of sweep runs
+// with content-addressed run IDs, cross-run regression comparison, and
+// checkpoint/resume. A run directory holds manifest.json (the grid
+// declaration and provenance) plus cells.jsonl (one SweepRecord per
+// line, in cell order); `gossipsim archive/compare/report` and the
+// `gossipsim sweep -out/-resume` flags are the command-line front end.
+type (
+	// Corpus is a directory of stored runs keyed by content-addressed ID.
+	Corpus = corpus.Store
+	// CorpusRun is one stored run (manifest + cells).
+	CorpusRun = corpus.Run
+	// CorpusManifest describes a stored run.
+	CorpusManifest = corpus.Manifest
+	// CorpusFilter selects runs/cells by grid coordinates.
+	CorpusFilter = corpus.Filter
+	// SweepRecord is the serialized form of one sweep cell — the JSONL
+	// line format of both the sweep stream and the corpus.
+	SweepRecord = runner.CellRecord
+	// SweepMetricAgg is one metric's stored aggregate.
+	SweepMetricAgg = runner.MetricAgg
+	// SweepTolerance bounds acceptable drift in a run comparison.
+	SweepTolerance = corpus.Tolerance
+	// SweepComparison is the metric-by-metric diff of two runs.
+	SweepComparison = corpus.Comparison
+	// SweepStream re-orders completed cells into a JSON-lines stream.
+	SweepStream = runner.OrderedJSONL
+)
+
+// OpenCorpus opens (creating if needed) a corpus directory.
+func OpenCorpus(dir string) (*Corpus, error) { return corpus.Open(dir) }
+
+// OpenCorpusRun opens one stored run directory, verifying its
+// content-addressed ID against its manifest.
+func OpenCorpusRun(dir string) (*CorpusRun, error) { return corpus.OpenRun(dir) }
+
+// SweepRunID returns the content-addressed run ID of a grid: identical
+// configurations (canonical grid + master seed) map to identical IDs.
+func SweepRunID(g SweepGrid) string { return corpus.GridID(g) }
+
+// ExecuteSweepRun runs the grid with checkpointing: every completed
+// cell streams to dir/cells.jsonl in cell order, so a killed sweep
+// restarted with resume skips the completed prefix and produces a file
+// bit-identical to an uninterrupted run's. onRecord, if non-nil,
+// observes the full record sequence in strict cell order as it becomes
+// available (a resumed run's loaded prefix replays immediately) — a
+// live tee of cells.jsonl. It returns the stored run and its full
+// record set.
+func ExecuteSweepRun(dir string, g SweepGrid, workers int, resume bool, onRecord func(SweepRecord)) (*CorpusRun, []SweepRecord, error) {
+	return corpus.ExecuteRun(dir, g, workers, resume, onRecord)
+}
+
+// CompareRuns diffs a candidate run against a reference metric by
+// metric; see SweepComparison.Regressed for the gate verdict.
+func CompareRuns(ref, cand *CorpusRun, tol SweepTolerance) (*SweepComparison, error) {
+	return corpus.CompareRuns(ref, cand, tol)
+}
+
+// CompareSweepRecords is CompareRuns over in-memory record sets.
+func CompareSweepRecords(ref, cand []SweepRecord, tol SweepTolerance) *SweepComparison {
+	return corpus.Compare(ref, cand, tol)
+}
+
+// ReportRun renders a stored run as its aggregate table plus ASCII
+// plots of the gossip metrics against the run's moving axis.
+func ReportRun(w io.Writer, r *CorpusRun) error { return corpus.Report(w, r) }
+
+// SweepRecordTable renders stored records as one row per cell — the
+// same table SweepTable renders for in-memory results.
+func SweepRecordTable(title string, recs []SweepRecord) *sweep.Table {
+	return runner.RecordTable(title, recs)
+}
+
+// WriteSweepRecordJSONL streams stored records as JSON lines.
+func WriteSweepRecordJSONL(w io.Writer, recs []SweepRecord) error {
+	return runner.WriteRecordJSONL(w, recs)
+}
+
+// NewSweepStream returns a writer that accepts completed cells in any
+// order (wire it as the RunSweepStream callback) and emits them to w as
+// JSON lines in strict cell order, as each becomes contiguous.
+func NewSweepStream(w io.Writer) *SweepStream { return runner.NewOrderedJSONL(w, 0) }
+
+// RunSweepStream is RunSweep with an on-completion callback: onCell is
+// invoked serially for each cell as it finishes (in completion order —
+// pair with NewSweepStream to re-establish cell order).
+func RunSweepStream(g SweepGrid, workers int, onCell func(SweepCellResult)) []SweepCellResult {
+	r := &runner.Runner{Workers: workers, OnCell: onCell}
+	return r.RunGrid(g)
 }

@@ -1,0 +1,206 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gossip/internal/runner"
+	"gossip/internal/sweep"
+)
+
+// Tolerance bounds acceptable metric drift between a reference and a
+// candidate run: candidate mean b is within tolerance of reference mean
+// a when |b−a| ≤ Abs + Rel·|a|. With a zero Tolerance only bit-equal
+// means pass — the right gate for replays of the same deterministic
+// configuration. Note the asymmetry at a = 0: a purely relative
+// tolerance accepts no drift away from an exactly-zero reference.
+type Tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+// Within reports whether candidate b is within tolerance of reference a.
+func (t Tolerance) Within(a, b float64) bool {
+	return math.Abs(b-a) <= t.Abs+t.Rel*math.Abs(a)
+}
+
+// Verdict strings of a metric or cell comparison.
+const (
+	VerdictOK      = "ok"
+	VerdictFail    = "FAIL"
+	VerdictMissing = "missing" // present in reference, absent in candidate
+	VerdictExtra   = "extra"   // absent in reference, present in candidate
+)
+
+// MetricDelta is one metric's comparison within one matched cell.
+type MetricDelta struct {
+	Metric string
+	// Ref and New are the two aggregates; Missing/Extra verdicts carry
+	// a zero aggregate on the absent side.
+	Ref, New runner.MetricAgg
+	// Delta is New.Mean − Ref.Mean; Rel is Delta normalized by
+	// |Ref.Mean| (NaN when the reference mean is zero).
+	Delta, Rel float64
+	Verdict    string
+}
+
+// CellDiff is one grid coordinate's comparison.
+type CellDiff struct {
+	Key      Key
+	Scenario runner.Scenario
+	// Deltas holds the per-metric comparisons, sorted by metric name;
+	// empty for cells present in only one run.
+	Deltas []MetricDelta
+	// Verdict is ok/FAIL for matched cells, missing/extra otherwise.
+	Verdict string
+}
+
+// Comparison is the metric-by-metric diff of two runs.
+type Comparison struct {
+	Ref, New string // labels (run IDs or paths)
+	Tol      Tolerance
+	Cells    []CellDiff
+	// Matched counts joined cells; OnlyRef/OnlyNew the unjoined ones.
+	Matched, OnlyRef, OnlyNew int
+	// Failing counts matched cells with at least one out-of-tolerance
+	// or missing metric.
+	Failing int
+}
+
+// Regressed reports the gate verdict: a metric drifted out of
+// tolerance, or a reference cell or metric has no candidate — a
+// configuration silently dropped is a regression, a new one is not.
+func (c *Comparison) Regressed() bool {
+	return c.Failing > 0 || c.OnlyRef > 0
+}
+
+// Compare diffs candidate records against reference records, joining
+// cells on their grid coordinates and metrics by name.
+func Compare(ref, cand []runner.CellRecord, tol Tolerance) *Comparison {
+	c := &Comparison{Tol: tol}
+	pairs, onlyRef, onlyNew := Join(ref, cand)
+	for _, p := range pairs {
+		d := diffCell(p[0], p[1], tol)
+		if d.Verdict == VerdictFail {
+			c.Failing++
+		}
+		c.Cells = append(c.Cells, d)
+		c.Matched++
+	}
+	for _, r := range onlyRef {
+		c.Cells = append(c.Cells, CellDiff{
+			Key: KeyOf(r.Scenario), Scenario: r.Scenario, Verdict: VerdictMissing,
+		})
+		c.OnlyRef++
+	}
+	for _, r := range onlyNew {
+		c.Cells = append(c.Cells, CellDiff{
+			Key: KeyOf(r.Scenario), Scenario: r.Scenario, Verdict: VerdictExtra,
+		})
+		c.OnlyNew++
+	}
+	return c
+}
+
+func diffCell(ref, cand runner.CellRecord, tol Tolerance) CellDiff {
+	d := CellDiff{Key: KeyOf(ref.Scenario), Scenario: ref.Scenario, Verdict: VerdictOK}
+	names := map[string]bool{}
+	for k := range ref.Metrics {
+		names[k] = true
+	}
+	for k := range cand.Metrics {
+		names[k] = true
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r, inRef := ref.Metrics[k]
+		n, inCand := cand.Metrics[k]
+		md := MetricDelta{Metric: k, Ref: r, New: n}
+		switch {
+		case !inCand:
+			md.Verdict = VerdictMissing
+			d.Verdict = VerdictFail
+		case !inRef:
+			md.Verdict = VerdictExtra
+		default:
+			md.Delta = n.Mean - r.Mean
+			if r.Mean != 0 {
+				md.Rel = md.Delta / math.Abs(r.Mean)
+			} else {
+				md.Rel = math.NaN()
+			}
+			if tol.Within(r.Mean, n.Mean) {
+				md.Verdict = VerdictOK
+			} else {
+				md.Verdict = VerdictFail
+				d.Verdict = VerdictFail
+			}
+		}
+		d.Deltas = append(d.Deltas, md)
+	}
+	return d
+}
+
+// CompareRuns loads and diffs two stored runs, labeling the comparison
+// with their run IDs.
+func CompareRuns(ref, cand *Run, tol Tolerance) (*Comparison, error) {
+	a, err := ref.Records()
+	if err != nil {
+		return nil, err
+	}
+	b, err := cand.Records()
+	if err != nil {
+		return nil, err
+	}
+	c := Compare(a, b, tol)
+	c.Ref, c.New = ref.Manifest.ID, cand.Manifest.ID
+	return c, nil
+}
+
+// Table renders the regression verdict table: one row per (cell,
+// metric) pair, plus one row per unmatched cell.
+func (c *Comparison) Table() *sweep.Table {
+	title := fmt.Sprintf("compare: ref %s vs new %s (tol abs=%g rel=%g)",
+		c.Ref, c.New, c.Tol.Abs, c.Tol.Rel)
+	t := &sweep.Table{
+		Title:   title,
+		Columns: []string{"cell", "metric", "ref", "new", "delta", "rel", "verdict"},
+	}
+	for _, cell := range c.Cells {
+		if len(cell.Deltas) == 0 {
+			t.AddRow(cell.Scenario.String(), "-", "-", "-", "-", "-", cell.Verdict)
+			continue
+		}
+		for _, d := range cell.Deltas {
+			rel := "-"
+			if !math.IsNaN(d.Rel) {
+				rel = fmt.Sprintf("%+.3g", d.Rel)
+			}
+			switch d.Verdict {
+			case VerdictMissing:
+				t.AddRow(cell.Scenario.String(), d.Metric, d.Ref.Mean, "-", "-", "-", d.Verdict)
+			case VerdictExtra:
+				t.AddRow(cell.Scenario.String(), d.Metric, "-", d.New.Mean, "-", "-", d.Verdict)
+			default:
+				t.AddRow(cell.Scenario.String(), d.Metric, d.Ref.Mean, d.New.Mean,
+					fmt.Sprintf("%+.3g", d.Delta), rel, d.Verdict)
+			}
+		}
+	}
+	return t
+}
+
+// Summary renders the one-line gate outcome.
+func (c *Comparison) Summary() string {
+	verdict := "PASS"
+	if c.Regressed() {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%s: %d cells matched, %d failing, %d missing, %d extra",
+		verdict, c.Matched, c.Failing, c.OnlyRef, c.OnlyNew)
+}

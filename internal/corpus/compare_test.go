@@ -1,0 +1,166 @@
+package corpus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossip/internal/runner"
+)
+
+// rec builds a one-metric record at the given coordinate and mean.
+func rec(index int, algo string, n int, mean float64) runner.CellRecord {
+	return runner.CellRecord{
+		Scenario: runner.Scenario{Index: index, Algo: algo, Model: "er", N: n, Density: 1, Reps: 1},
+		Metrics:  map[string]runner.MetricAgg{"steps": {Mean: mean, N: 1, Min: mean, Max: mean}},
+	}
+}
+
+func TestToleranceWithin(t *testing.T) {
+	for _, tc := range []struct {
+		tol  Tolerance
+		a, b float64
+		want bool
+	}{
+		// A zero tolerance accepts only exact equality.
+		{Tolerance{}, 10, 10, true},
+		{Tolerance{}, 10, 10.000001, false},
+		// Absolute tolerance: the boundary itself passes (<=).
+		{Tolerance{Abs: 0.5}, 10, 10.5, true},
+		{Tolerance{Abs: 0.5}, 10, 10.500001, false},
+		{Tolerance{Abs: 0.5}, 10, 9.5, true},
+		// Relative tolerance scales with the reference magnitude.
+		{Tolerance{Rel: 0.1}, 100, 110, true},
+		{Tolerance{Rel: 0.1}, 100, 110.1, false},
+		{Tolerance{Rel: 0.1}, -100, -110, true},
+		// A purely relative tolerance accepts no drift from a zero
+		// reference.
+		{Tolerance{Rel: 0.1}, 0, 1e-12, false},
+		{Tolerance{Abs: 1e-9, Rel: 0.1}, 0, 1e-12, true},
+		// Abs and Rel add.
+		{Tolerance{Abs: 1, Rel: 0.1}, 100, 111, true},
+		{Tolerance{Abs: 1, Rel: 0.1}, 100, 111.1, false},
+	} {
+		if got := tc.tol.Within(tc.a, tc.b); got != tc.want {
+			t.Errorf("Tolerance%+v.Within(%g, %g) = %v, want %v", tc.tol, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareIdenticalRunsPass(t *testing.T) {
+	ref := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 14)}
+	c := Compare(ref, ref, Tolerance{})
+	if c.Regressed() {
+		t.Errorf("identical runs regressed: %s", c.Summary())
+	}
+	if c.Matched != 2 || c.Failing != 0 || c.OnlyRef != 0 || c.OnlyNew != 0 {
+		t.Errorf("counts wrong: %+v", c)
+	}
+	if !strings.HasPrefix(c.Summary(), "PASS") {
+		t.Errorf("summary = %q", c.Summary())
+	}
+}
+
+func TestCompareDetectsDrift(t *testing.T) {
+	ref := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 14)}
+	cand := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 15)}
+
+	// Out of tolerance: regression, FAIL verdict in the table.
+	c := Compare(ref, cand, Tolerance{Abs: 0.5})
+	if !c.Regressed() || c.Failing != 1 {
+		t.Fatalf("drift not flagged: %s", c.Summary())
+	}
+	var tbl strings.Builder
+	c.Table().Render(&tbl)
+	if !strings.Contains(tbl.String(), VerdictFail) {
+		t.Errorf("verdict table missing FAIL:\n%s", tbl.String())
+	}
+
+	// The same drift inside tolerance passes; improvement direction is
+	// judged symmetrically (the gate flags change, not slowdown only).
+	if c := Compare(ref, cand, Tolerance{Abs: 1}); c.Regressed() {
+		t.Errorf("in-tolerance drift regressed: %s", c.Summary())
+	}
+	if c := Compare(ref, cand, Tolerance{Rel: 0.1}); c.Regressed() {
+		t.Errorf("7%% drift regressed at rel=0.1: %s", c.Summary())
+	}
+	down := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 13)}
+	if c := Compare(ref, down, Tolerance{Abs: 0.5}); !c.Regressed() {
+		t.Error("downward drift not flagged")
+	}
+}
+
+func TestCompareUnmatchedCells(t *testing.T) {
+	ref := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 14)}
+	// A reference cell the candidate no longer covers is a regression;
+	// an extra candidate cell is not.
+	c := Compare(ref, ref[:1], Tolerance{})
+	if !c.Regressed() || c.OnlyRef != 1 {
+		t.Errorf("missing candidate cell not flagged: %s", c.Summary())
+	}
+	c = Compare(ref[:1], ref, Tolerance{})
+	if c.Regressed() || c.OnlyNew != 1 {
+		t.Errorf("extra candidate cell flagged: %s", c.Summary())
+	}
+	var tbl strings.Builder
+	c.Table().Render(&tbl)
+	if !strings.Contains(tbl.String(), VerdictExtra) {
+		t.Errorf("verdict table missing extra row:\n%s", tbl.String())
+	}
+}
+
+func TestCompareMetricSets(t *testing.T) {
+	ref := rec(0, "pushpull", 64, 12)
+	cand := rec(0, "pushpull", 64, 12)
+	ref.Metrics["msgs_per_node"] = runner.MetricAgg{Mean: 30, N: 1}
+
+	// A reference metric absent from the candidate fails the cell.
+	c := Compare([]runner.CellRecord{ref}, []runner.CellRecord{cand}, Tolerance{})
+	if !c.Regressed() || c.Failing != 1 {
+		t.Errorf("missing metric not flagged: %s", c.Summary())
+	}
+
+	// The reverse — a new metric — is informational only.
+	c = Compare([]runner.CellRecord{cand}, []runner.CellRecord{ref}, Tolerance{})
+	if c.Regressed() {
+		t.Errorf("extra metric flagged: %s", c.Summary())
+	}
+}
+
+func TestCompareRunsEndToEnd(t *testing.T) {
+	g := testGrid(31)
+	dirA := filepath.Join(t.TempDir(), "a")
+	runA, _, err := ExecuteRun(dirA, g, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same configuration executed again (different dir, different
+	// worker count): bit-identical results, zero-tolerance pass.
+	dirB := filepath.Join(t.TempDir(), "b")
+	runB, _, err := ExecuteRun(dirB, g, 5, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareRuns(runA, runB, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressed() {
+		t.Errorf("replay regressed: %s", cmp.Summary())
+	}
+
+	// A different seed genuinely drifts; zero tolerance catches it.
+	g2 := testGrid(32)
+	dirC := filepath.Join(t.TempDir(), "c")
+	runC, _, err := ExecuteRun(dirC, g2, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err = CompareRuns(runA, runC, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Regressed() {
+		t.Error("different-seed run compared clean at zero tolerance")
+	}
+}

@@ -1,0 +1,468 @@
+// Package corpus persists sweep runs so the JSONL stream the runner
+// engine emits has a durable consumer: results survive the process,
+// long sweeps checkpoint and resume, and stored runs answer the
+// paper's core question — did this change make gossiping slower at
+// density d? — by cross-run regression comparison.
+//
+// On disk, a run is a directory:
+//
+//	<run>/manifest.json   the grid declaration (with master seed),
+//	                      expanded cell count, worker count, creation
+//	                      time and schema version, plus the run ID
+//	<run>/cells.jsonl     one runner.CellRecord JSON object per line,
+//	                      in cell-index order
+//
+// Run IDs are content-addressed: the hex-truncated SHA-256 of the
+// canonical grid JSON (runner.Grid.Canonical, which includes the master
+// seed — everything that determines the sweep's results, and nothing
+// that does not). Identical configurations therefore map to identical
+// IDs, so a Store dedupes replays, and a stored run's provenance can be
+// verified by re-deriving its ID from its own manifest.
+//
+// cells.jsonl is written through runner.OrderedJSONL, so at every
+// instant — including after a kill — the file is an in-order prefix of
+// the full sweep, possibly ending in one torn line. Resume truncates
+// the torn tail, verifies the grid hash, skips the completed prefix,
+// and appends exactly the missing suffix; because per-cell seeds derive
+// from cell indices, the completed file is bit-identical to an
+// uninterrupted run's.
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gossip/internal/runner"
+)
+
+// On-disk names of the two files every run directory holds.
+const (
+	ManifestName = "manifest.json"
+	CellsName    = "cells.jsonl"
+)
+
+// SchemaVersion stamps manifests with the writing schema's version.
+const SchemaVersion = "gossip-corpus/1"
+
+// Manifest describes one stored sweep run.
+type Manifest struct {
+	// ID is the content-addressed run ID: GridID of Grid. It is stored
+	// for human consumption and verified against the grid on open.
+	ID string `json:"id"`
+	// Grid is the canonical grid declaration, master seed included.
+	Grid runner.Grid `json:"grid"`
+	// Cells is the expanded cell count — the line count of a complete
+	// cells.jsonl.
+	Cells int `json:"cells"`
+	// Workers, CreatedAt and Version are provenance; they do not affect
+	// results and are excluded from the ID.
+	Workers   int    `json:"workers,omitempty"`
+	CreatedAt string `json:"created_at,omitempty"`
+	Version   string `json:"version,omitempty"`
+}
+
+// GridID content-addresses a grid: hex(SHA-256(canonical JSON))[:16].
+func GridID(g runner.Grid) string {
+	b, err := json.Marshal(g.Canonical())
+	if err != nil {
+		// A Grid is plain data; its marshaling cannot fail.
+		panic(fmt.Errorf("corpus: marshal grid: %w", err))
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:8])
+}
+
+// NewManifest stamps a manifest for g: canonical grid, derived ID,
+// expanded cell count, current schema version.
+func NewManifest(g runner.Grid) Manifest {
+	cg := g.Canonical()
+	return Manifest{
+		ID:      GridID(cg),
+		Grid:    cg,
+		Cells:   len(cg.Scenarios()),
+		Version: SchemaVersion,
+	}
+}
+
+// Run is an opened run directory.
+type Run struct {
+	Dir      string
+	Manifest Manifest
+}
+
+// OpenRun reads dir's manifest. It verifies the stored ID against the
+// grid, so a tampered or mislabeled run is rejected at open.
+func OpenRun(dir string) (*Run, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open run %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("corpus: parse manifest %s: %w", dir, err)
+	}
+	if want := GridID(m.Grid); m.ID != want {
+		return nil, fmt.Errorf("corpus: run %s: manifest ID %s does not match its grid (want %s)", dir, m.ID, want)
+	}
+	return &Run{Dir: dir, Manifest: m}, nil
+}
+
+// CellsPath returns the run's cells.jsonl path.
+func (r *Run) CellsPath() string { return filepath.Join(r.Dir, CellsName) }
+
+// Records loads the run's cells: the valid in-order prefix of
+// cells.jsonl. For a complete run that is every cell; for a
+// checkpointed one it is the cells finished so far (a torn final line
+// from a killed writer is ignored). Use Complete to distinguish.
+func (r *Run) Records() ([]runner.CellRecord, error) {
+	recs, _, err := scanCells(r.CellsPath())
+	return recs, err
+}
+
+// Complete reports whether every grid cell is present.
+func (r *Run) Complete() (bool, error) {
+	recs, _, err := scanCells(r.CellsPath())
+	if err != nil {
+		return false, err
+	}
+	return len(recs) == r.Manifest.Cells, nil
+}
+
+// scanCells reads the valid in-order prefix of a cells file: complete
+// lines that parse as CellRecords with consecutive indices from 0. It
+// returns the records and the byte offset just past the last valid
+// line — the truncation point for resume. A missing file is an empty
+// prefix. An unterminated or unparseable final line is a torn write
+// and ends the prefix silently; a bad line with data after it is
+// corruption and errors.
+func scanCells(path string) ([]runner.CellRecord, int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("corpus: open cells: %w", err)
+	}
+	defer f.Close()
+	var (
+		recs []runner.CellRecord
+		off  int64
+		rd   = bufio.NewReader(f)
+	)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			// Unterminated tail: a torn write. Not part of the prefix.
+			return recs, off, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("corpus: read cells %s: %w", path, err)
+		}
+		var rec runner.CellRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			// A terminated line that fails to parse: if it is the last
+			// line it is a torn write (kill mid-syscall) and ends the
+			// prefix; with data after it the file is corrupt.
+			if _, perr := rd.Peek(1); perr == io.EOF {
+				return recs, off, nil
+			}
+			return nil, 0, fmt.Errorf("corpus: cells %s line %d: %w", path, len(recs)+1, jerr)
+		}
+		if rec.Index != len(recs) {
+			// Torn writes cannot produce a parseable line with the
+			// wrong index — this is corruption wherever it appears.
+			return nil, 0, fmt.Errorf("corpus: cells %s line %d: cell index %d, want %d", path, len(recs)+1, rec.Index, len(recs))
+		}
+		recs = append(recs, rec)
+		off += int64(len(line))
+	}
+}
+
+// Store is a directory of runs keyed by their content-addressed IDs.
+type Store struct {
+	Dir string
+}
+
+// Open opens (creating if needed) a corpus directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: open store: %w", err)
+	}
+	return &Store{Dir: dir}, nil
+}
+
+// Path returns where the identified run lives in the store.
+func (s *Store) Path(id string) string { return filepath.Join(s.Dir, id) }
+
+// Load opens the identified run.
+func (s *Store) Load(id string) (*Run, error) { return OpenRun(s.Path(id)) }
+
+// Runs opens every run in the store, sorted by ID. Entries without a
+// manifest are skipped (the store owns only what it can identify); a
+// run that fails to open errors.
+func (s *Store) Runs() ([]*Run, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: list store: %w", err)
+	}
+	var runs []*Run
+	for _, e := range entries {
+		if !e.IsDir() || strings.Contains(e.Name(), ".tmp-") {
+			// Not a run, or an uncommitted WriteRun left by a crash.
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.Dir, e.Name(), ManifestName)); errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		r, err := OpenRun(filepath.Join(s.Dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Manifest.ID < runs[j].Manifest.ID })
+	return runs, nil
+}
+
+// Archive stores results as a completed run under their grid's
+// content-addressed ID. If the store already holds a complete run with
+// that ID it is returned with added == false: identical configurations
+// dedupe. An unreadable or incomplete stored run (a previously
+// interrupted import) is replaced, not deduped against.
+func (s *Store) Archive(g runner.Grid, workers int, createdAt string, results []runner.CellResult) (r *Run, added bool, err error) {
+	m := NewManifest(g)
+	m.Workers = workers
+	m.CreatedAt = createdAt
+	if existing := s.loadComplete(m.ID); existing != nil {
+		return existing, false, nil
+	}
+	r, err = WriteRun(s.Path(m.ID), m, runner.Records(results))
+	return r, err == nil, err
+}
+
+// Import copies an existing run directory into the store under its ID,
+// deduping like Archive.
+func (s *Store) Import(src *Run) (r *Run, added bool, err error) {
+	id := src.Manifest.ID
+	if existing := s.loadComplete(id); existing != nil {
+		return existing, false, nil
+	}
+	recs, err := src.Records()
+	if err != nil {
+		return nil, false, err
+	}
+	r, err = WriteRun(s.Path(id), src.Manifest, recs)
+	return r, err == nil, err
+}
+
+// loadComplete returns the identified run only if it opens cleanly and
+// holds every cell — the dedupe criterion.
+func (s *Store) loadComplete(id string) *Run {
+	r, err := s.Load(id)
+	if err != nil {
+		return nil
+	}
+	if done, err := r.Complete(); err != nil || !done {
+		return nil
+	}
+	return r
+}
+
+// Select opens the runs whose grid contains at least one cell matching
+// f, sorted by ID.
+func (s *Store) Select(f Filter) ([]*Run, error) {
+	runs, err := s.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Run
+	for _, r := range runs {
+		if f.MatchRun(r.Manifest) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteRun writes a complete run directory in one shot, atomically:
+// the manifest and cells land in a temporary sibling that is renamed
+// into place only once fully written, replacing any previous content,
+// so an interrupted or failed write never leaves dir holding a valid
+// manifest over truncated cells. (Checkpointed runs are the opposite
+// case — intentionally partial — and go through CreateRun/ResumeRun.)
+func WriteRun(dir string, m Manifest, records []runner.CellRecord) (*Run, error) {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: create run parent: %w", err)
+	}
+	tmp, err := os.MkdirTemp(parent, filepath.Base(dir)+".tmp-")
+	if err != nil {
+		return nil, fmt.Errorf("corpus: create run: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	if err := writeManifest(tmp, m); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(tmp, CellsName))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: create cells: %w", err)
+	}
+	if err := runner.WriteRecordJSONL(f, records); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("corpus: close cells: %w", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("corpus: replace run: %w", err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return nil, fmt.Errorf("corpus: commit run: %w", err)
+	}
+	return &Run{Dir: dir, Manifest: m}, nil
+}
+
+func writeManifest(dir string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: marshal manifest: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), b, 0o644); err != nil {
+		return fmt.Errorf("corpus: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Filter selects runs and cells by grid coordinates. Zero-valued fields
+// match anything; Density matches against the scenario's effective
+// density (0 in a scenario means the paper's operating point 1).
+type Filter struct {
+	Algo    string
+	Model   string
+	N       int
+	Density float64
+}
+
+// MatchScenario reports whether one cell matches.
+func (f Filter) MatchScenario(s runner.Scenario) bool {
+	if f.Algo != "" && s.Algo != f.Algo {
+		return false
+	}
+	if f.Model != "" && s.Model != f.Model {
+		return false
+	}
+	if f.N != 0 && s.N != f.N {
+		return false
+	}
+	if f.Density != 0 && effectiveDensity(s) != f.Density {
+		return false
+	}
+	return true
+}
+
+// MatchRun reports whether any of the run's grid cells matches.
+func (f Filter) MatchRun(m Manifest) bool {
+	for _, s := range m.Grid.Scenarios() {
+		if f.MatchScenario(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterRecords returns the records whose scenarios match f, in order.
+func FilterRecords(recs []runner.CellRecord, f Filter) []runner.CellRecord {
+	var out []runner.CellRecord
+	for _, r := range recs {
+		if f.MatchScenario(r.Scenario) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Key is a cell's grid coordinate — everything in a Scenario except its
+// grid position and repetition count. It is the join key for cross-run
+// comparison: two runs' cells with equal Keys measured the same
+// configuration.
+type Key struct {
+	Algo     string
+	Model    string
+	N        int
+	Density  float64
+	Failures int
+	Trees    int
+	MemSlots int
+	WalkProb float64
+	SampleK  int
+}
+
+// KeyOf returns s's coordinate, with defaults applied so cells naming
+// the same computation join: density 0 joins density 1, and a sampled
+// cell without an explicit k joins one declared at DefaultSampleK.
+func KeyOf(s runner.Scenario) Key {
+	k := s.SampleK
+	if runner.AlgoUsesSampleK(s.Algo) && k <= 0 {
+		k = runner.DefaultSampleK
+	}
+	return Key{
+		Algo: s.Algo, Model: s.Model, N: s.N,
+		Density:  effectiveDensity(s),
+		Failures: s.Failures,
+		Trees:    s.Trees, MemSlots: s.MemSlots,
+		WalkProb: s.WalkProb, SampleK: k,
+	}
+}
+
+func effectiveDensity(s runner.Scenario) float64 {
+	if s.Density <= 0 {
+		return 1
+	}
+	return s.Density
+}
+
+// String renders the coordinate like Scenario.String.
+func (k Key) String() string {
+	s := runner.Scenario{
+		Algo: k.Algo, Model: k.Model, N: k.N, Density: k.Density,
+		Failures: k.Failures, Trees: k.Trees, MemSlots: k.MemSlots,
+		WalkProb: k.WalkProb, SampleK: k.SampleK,
+	}
+	return s.String()
+}
+
+// Join pairs two record sets on their grid coordinates, in a's order.
+// Records without a partner are returned separately, in their own
+// run's order.
+func Join(a, b []runner.CellRecord) (pairs [][2]runner.CellRecord, onlyA, onlyB []runner.CellRecord) {
+	byKey := make(map[Key]int, len(b))
+	for i, r := range b {
+		byKey[KeyOf(r.Scenario)] = i
+	}
+	matchedB := make([]bool, len(b))
+	for _, r := range a {
+		if i, ok := byKey[KeyOf(r.Scenario)]; ok {
+			pairs = append(pairs, [2]runner.CellRecord{r, b[i]})
+			matchedB[i] = true
+		} else {
+			onlyA = append(onlyA, r)
+		}
+	}
+	for i, r := range b {
+		if !matchedB[i] {
+			onlyB = append(onlyB, r)
+		}
+	}
+	return pairs, onlyA, onlyB
+}

@@ -1,0 +1,232 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gossip/internal/runner"
+)
+
+// testGrid is a small but non-trivial grid: two algorithms (one with a
+// collapsing knob axis), two sizes, two densities.
+func testGrid(seed uint64) runner.Grid {
+	return runner.Grid{
+		Algos:     []string{"pushpull", "sampled"},
+		Models:    []string{"er"},
+		Sizes:     []int{64, 128},
+		Densities: []float64{1, 2},
+		Reps:      2,
+		Seed:      seed,
+	}
+}
+
+func runGrid(t *testing.T, g runner.Grid, workers int) []runner.CellResult {
+	t.Helper()
+	r := &runner.Runner{Workers: workers}
+	return r.RunGrid(g)
+}
+
+func TestGridIDCanonicalization(t *testing.T) {
+	// A grid with defaulted axes and one with those defaults explicit
+	// are the same configuration: same ID.
+	implicit := runner.Grid{Seed: 3}
+	explicit := runner.Grid{
+		Algos: []string{"pushpull"}, Models: []string{"er"},
+		Sizes: []int{1024}, Densities: []float64{1},
+		Failures: []runner.FailureSpec{{}},
+		Reps:     1, Seed: 3,
+	}
+	if GridID(implicit) != GridID(explicit) {
+		t.Errorf("canonical grids hash differently: %s vs %s", GridID(implicit), GridID(explicit))
+	}
+	// The seed is part of the configuration; so is every axis.
+	if GridID(runner.Grid{Seed: 3}) == GridID(runner.Grid{Seed: 4}) {
+		t.Error("different seeds share an ID")
+	}
+	a, b := testGrid(1), testGrid(1)
+	b.Densities = []float64{1, 4}
+	if GridID(a) == GridID(b) {
+		t.Error("different density axes share an ID")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	g := testGrid(5)
+	dir := filepath.Join(t.TempDir(), "run")
+	_, recs, err := ExecuteRun(dir, g, 4, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(g.Scenarios()); len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+
+	// archive → load → byte-identical cells: re-serializing the loaded
+	// records reproduces the stored file exactly.
+	run, err := OpenRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := run.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runner.WriteRecordJSONL(&buf, loaded); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(run.CellsPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), onDisk) {
+		t.Error("loaded records do not re-serialize to the stored bytes")
+	}
+	if done, err := run.Complete(); err != nil || !done {
+		t.Errorf("Complete() = %v, %v; want true, nil", done, err)
+	}
+
+	// The streamed checkpoint equals the one-shot WriteRun of the same
+	// results: streaming does not change the format.
+	results := runGrid(t, g, 1)
+	dir2 := filepath.Join(t.TempDir(), "oneshot")
+	if _, err := WriteRun(dir2, NewManifest(g), runner.Records(results)); err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := os.ReadFile(filepath.Join(dir2, CellsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, oneShot) {
+		t.Error("streamed cells.jsonl differs from one-shot WriteRun")
+	}
+}
+
+func TestOpenRunRejectsTamperedManifest(t *testing.T) {
+	g := testGrid(6)
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, _, err := ExecuteRun(dir, g, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the recorded seed without re-deriving the ID.
+	path := filepath.Join(dir, ManifestName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(b, []byte(`"seed": 6`), []byte(`"seed": 7`), 1)
+	if bytes.Equal(tampered, b) {
+		t.Fatal("test setup: seed not found in manifest")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRun(dir); err == nil {
+		t.Error("tampered manifest accepted")
+	}
+}
+
+func TestStoreArchiveDedupes(t *testing.T) {
+	g := testGrid(7)
+	results := runGrid(t, g, 2)
+	store, err := Open(filepath.Join(t.TempDir(), "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, added, err := store.Archive(g, 2, "2026-07-26T00:00:00Z", results)
+	if err != nil || !added {
+		t.Fatalf("first archive: added=%v err=%v", added, err)
+	}
+	r2, added, err := store.Archive(g, 8, "2026-07-27T00:00:00Z", results)
+	if err != nil || added {
+		t.Fatalf("second archive: added=%v err=%v, want dedupe", added, err)
+	}
+	if r1.Manifest.ID != r2.Manifest.ID {
+		t.Errorf("dedupe returned a different run: %s vs %s", r1.Manifest.ID, r2.Manifest.ID)
+	}
+	runs, err := store.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("store holds %d runs, want 1", len(runs))
+	}
+
+	// A different seed is a different configuration: stored separately.
+	g2 := testGrid(8)
+	if _, added, err := store.Archive(g2, 2, "", runGrid(t, g2, 2)); err != nil || !added {
+		t.Fatalf("different-seed archive: added=%v err=%v", added, err)
+	}
+	if runs, _ = store.Runs(); len(runs) != 2 {
+		t.Fatalf("store holds %d runs, want 2", len(runs))
+	}
+}
+
+func TestStoreImportAndSelect(t *testing.T) {
+	g := testGrid(9)
+	dir := filepath.Join(t.TempDir(), "run")
+	run, _, err := ExecuteRun(dir, g, 2, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(filepath.Join(t.TempDir(), "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, added, err := store.Import(run); err != nil || !added {
+		t.Fatalf("import: added=%v err=%v", added, err)
+	}
+	if _, added, _ := store.Import(run); added {
+		t.Error("re-import did not dedupe")
+	}
+
+	hits, err := store.Select(Filter{Algo: "sampled", N: 128})
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("Select(sampled, 128) = %d runs, err %v; want 1", len(hits), err)
+	}
+	miss, err := store.Select(Filter{Algo: "memory"})
+	if err != nil || len(miss) != 0 {
+		t.Fatalf("Select(memory) = %d runs, err %v; want 0", len(miss), err)
+	}
+	if hits, _ = store.Select(Filter{Density: 2}); len(hits) != 1 {
+		t.Errorf("Select(density=2) = %d runs, want 1", len(hits))
+	}
+	if miss, _ = store.Select(Filter{Density: 3}); len(miss) != 0 {
+		t.Errorf("Select(density=3) = %d runs, want 0", len(miss))
+	}
+}
+
+func TestFilterRecordsAndJoin(t *testing.T) {
+	g := testGrid(10)
+	recs := runner.Records(runGrid(t, g, 2))
+	only := FilterRecords(recs, Filter{Algo: "pushpull", Density: 2})
+	if len(only) != 2 { // sizes 64, 128
+		t.Fatalf("FilterRecords = %d records, want 2", len(only))
+	}
+	for _, r := range only {
+		if r.Algo != "pushpull" || r.Density != 2 {
+			t.Errorf("filtered record %v does not match", r.Scenario)
+		}
+	}
+
+	// Join matches on coordinates regardless of cell order; a cell
+	// present on one side only is reported as such.
+	rev := make([]runner.CellRecord, len(recs))
+	for i, r := range recs {
+		rev[len(recs)-1-i] = r
+	}
+	pairs, onlyA, onlyB := Join(recs, rev[:len(rev)-1]) // drop recs[0] from b
+	if len(onlyA) != 1 || KeyOf(onlyA[0].Scenario) != KeyOf(recs[0].Scenario) {
+		t.Fatalf("Join onlyA = %v, want the dropped cell", onlyA)
+	}
+	if len(onlyB) != 0 || len(pairs) != len(recs)-1 {
+		t.Fatalf("Join: %d pairs, %d onlyB; want %d, 0", len(pairs), len(onlyB), len(recs)-1)
+	}
+	for _, p := range pairs {
+		if KeyOf(p[0].Scenario) != KeyOf(p[1].Scenario) {
+			t.Fatalf("pair joins different coordinates: %v vs %v", p[0].Scenario, p[1].Scenario)
+		}
+	}
+}

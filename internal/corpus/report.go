@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gossip/internal/asciiplot"
+	"gossip/internal/runner"
+)
+
+// Report renders a stored run for a terminal: the aggregate table
+// followed by ASCII plots of each gossip metric against the run's
+// moving axis — density when the grid sweeps densities (the paper's
+// title question: rounds and messages against density), size otherwise
+// (log-x, the shape of the paper's figures) — with one series per
+// remaining coordinate combination.
+func Report(w io.Writer, r *Run) error {
+	recs, err := r.Records()
+	if err != nil {
+		return err
+	}
+	m := r.Manifest
+	title := fmt.Sprintf("run %s: %d/%d cells, seed %d", m.ID, len(recs), m.Cells, m.Grid.Seed)
+	if m.CreatedAt != "" {
+		title += ", created " + m.CreatedAt
+	}
+	runner.RecordTable(title, recs).Render(w)
+	if len(recs) == 0 {
+		return nil
+	}
+
+	densities := map[float64]bool{}
+	sizes := map[int]bool{}
+	for _, rec := range recs {
+		densities[effectiveDensity(rec.Scenario)] = true
+		sizes[rec.N] = true
+	}
+	byDensity := len(densities) > 1
+	if !byDensity && len(sizes) < 2 {
+		return nil // a single grid point has nothing to plot
+	}
+	for _, metric := range []string{"steps", "msgs_per_node"} {
+		plotMetric(w, recs, metric, byDensity)
+	}
+	return nil
+}
+
+// plotMetric draws one metric as a multi-series line chart. Series are
+// keyed by every coordinate except the moving axis, so each line is one
+// configuration traced across the axis.
+func plotMetric(w io.Writer, recs []runner.CellRecord, metric string, byDensity bool) {
+	series := map[string]*asciiplot.Series{}
+	var order []string
+	for _, rec := range recs {
+		agg, ok := rec.Metrics[metric]
+		if !ok {
+			continue
+		}
+		s := rec.Scenario
+		name := seriesName(s, byDensity)
+		x := float64(s.N)
+		if byDensity {
+			x = effectiveDensity(s)
+		}
+		sr, ok := series[name]
+		if !ok {
+			sr = &asciiplot.Series{Name: name}
+			series[name] = sr
+			order = append(order, name)
+		}
+		sr.Xs = append(sr.Xs, x)
+		sr.Ys = append(sr.Ys, agg.Mean)
+	}
+	if len(series) == 0 {
+		return
+	}
+	sort.Strings(order)
+	flat := make([]asciiplot.Series, 0, len(order))
+	for _, name := range order {
+		flat = append(flat, *series[name])
+	}
+	xlabel := "density (× log²n operating point)"
+	logX := false
+	if !byDensity {
+		xlabel = "n"
+		logX = true
+	}
+	fmt.Fprintln(w)
+	asciiplot.Render(w, flat, asciiplot.Options{
+		Title:  fmt.Sprintf("%s vs %s", metric, xlabel),
+		XLabel: xlabel,
+		YLabel: metric,
+		LogX:   logX,
+		ZeroY:  true,
+	})
+}
+
+// seriesName renders every coordinate except the moving axis, so two
+// configurations differing in any swept dimension — failure counts or
+// algorithm knobs included — never collapse into one zig-zag line.
+func seriesName(s runner.Scenario, byDensity bool) string {
+	name := s.Algo + "/" + s.Model
+	if byDensity {
+		name += fmt.Sprintf(" n=%d", s.N)
+	} else {
+		name += fmt.Sprintf(" d=%g", effectiveDensity(s))
+	}
+	if s.Failures > 0 {
+		name += fmt.Sprintf(" f=%d", s.Failures)
+	}
+	if s.Trees > 0 {
+		name += fmt.Sprintf(" trees=%d", s.Trees)
+	}
+	if s.MemSlots > 0 {
+		name += fmt.Sprintf(" mem=%d", s.MemSlots)
+	}
+	if s.WalkProb > 0 {
+		name += fmt.Sprintf(" wp=%g", s.WalkProb)
+	}
+	if s.SampleK > 0 {
+		name += fmt.Sprintf(" k=%d", s.SampleK)
+	}
+	return name
+}

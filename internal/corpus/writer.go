@@ -1,0 +1,178 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gossip/internal/runner"
+)
+
+// Writer streams a run to disk as its cells complete, in cell-index
+// order, so the run directory is a valid checkpoint at every instant.
+// Wire OnCell and Skip into a runner.Runner and Close when the run
+// returns.
+type Writer struct {
+	run    *Run
+	f      *os.File
+	ord    *runner.OrderedJSONL
+	prefix []runner.CellRecord
+}
+
+// CreateRun initializes dir as a fresh run for m: writes the manifest
+// and an empty cells.jsonl. It refuses a directory that already holds a
+// run (resume or pick a new directory — silently truncating recorded
+// results is how corpora rot).
+func CreateRun(dir string, m Manifest) (*Writer, error) {
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("corpus: %s already holds a run (resume it, or archive to a new directory)", dir)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("corpus: probe run dir: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: create run: %w", err)
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, CellsName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: create cells: %w", err)
+	}
+	return &Writer{
+		run: &Run{Dir: dir, Manifest: m},
+		f:   f,
+		ord: runner.NewOrderedJSONL(f, 0),
+	}, nil
+}
+
+// ResumeRun reopens dir's checkpoint to continue g. It verifies that
+// the stored run records the same configuration (equal content-
+// addressed grid IDs — same grid, same master seed), truncates any torn
+// final line, and positions the writer after the completed prefix. The
+// sweep then skips Done cells and appends the rest; because per-cell
+// seeds derive from cell indices, the finished cells.jsonl is
+// bit-identical to an uninterrupted run's.
+func ResumeRun(dir string, g runner.Grid) (*Writer, error) {
+	r, err := OpenRun(dir)
+	if err != nil {
+		return nil, err
+	}
+	if want := GridID(g); r.Manifest.ID != want {
+		return nil, fmt.Errorf("corpus: resume %s: stored run %s was recorded under a different grid/seed (this sweep is %s)", dir, r.Manifest.ID, want)
+	}
+	recs, off, err := scanCells(r.CellsPath())
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(r.CellsPath(), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: reopen cells: %w", err)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: seek cells: %w", err)
+	}
+	return &Writer{
+		run:    r,
+		f:      f,
+		ord:    runner.NewOrderedJSONL(f, len(recs)),
+		prefix: recs,
+	}, nil
+}
+
+// Run returns the run being written.
+func (w *Writer) Run() *Run { return w.run }
+
+// Done returns how many leading cells were already complete when the
+// writer opened.
+func (w *Writer) Done() int { return len(w.prefix) }
+
+// Prefix returns the records that were already on disk when the writer
+// opened (the resumed run's completed cells). Do not modify.
+func (w *Writer) Prefix() []runner.CellRecord { return w.prefix }
+
+// OnCell streams one completed cell; wire it as runner.Runner.OnCell.
+func (w *Writer) OnCell(c runner.CellResult) { w.ord.Add(c) }
+
+// Skip reports whether a cell is already on disk; wire it as
+// runner.Runner.Skip.
+func (w *Writer) Skip(s runner.Scenario) bool { return s.Index < len(w.prefix) }
+
+// Close flushes and closes the checkpoint, reporting any streaming
+// error the sweep's computation outran.
+func (w *Writer) Close() error {
+	err := w.ord.Err()
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("corpus: close cells: %w", cerr)
+	}
+	return err
+}
+
+// ExecuteRun runs g to completion in dir with checkpointing: each cell
+// streams to cells.jsonl as it finishes. With resume set and dir
+// already holding this configuration's checkpoint, completed cells are
+// skipped and only the missing suffix executes; without resume, dir
+// must be fresh. It returns the run and its full record set (loaded
+// cells for the skipped prefix, fresh results for the rest — i.e. the
+// final file's contents).
+//
+// onRecord, if non-nil, observes the full record sequence in strict
+// cell order as it becomes available: a resumed run's loaded prefix is
+// replayed immediately, then each fresh cell as it completes — a live
+// tee of cells.jsonl for progress streaming.
+func ExecuteRun(dir string, g runner.Grid, workers int, resume bool, onRecord func(runner.CellRecord)) (*Run, []runner.CellRecord, error) {
+	var (
+		w   *Writer
+		err error
+	)
+	if resume {
+		if _, serr := os.Stat(filepath.Join(dir, ManifestName)); serr == nil {
+			w, err = ResumeRun(dir, g)
+		} else {
+			resume = false
+		}
+	}
+	if w == nil && err == nil {
+		m := NewManifest(g)
+		m.Workers = workers
+		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		w, err = CreateRun(dir, m)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	onCell := w.OnCell
+	if onRecord != nil {
+		for _, rec := range w.Prefix() {
+			onRecord(rec)
+		}
+		tee := runner.NewOrderedCells(w.Done(), func(rec runner.CellRecord) error {
+			onRecord(rec)
+			return nil
+		})
+		onCell = func(c runner.CellResult) {
+			w.OnCell(c)
+			tee.Add(c)
+		}
+	}
+	r := &runner.Runner{Workers: workers, OnCell: onCell, Skip: w.Skip}
+	r.RunGrid(g)
+	if err := w.Close(); err != nil {
+		return nil, nil, err
+	}
+	recs, err := w.run.Records()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) != w.run.Manifest.Cells {
+		return nil, nil, fmt.Errorf("corpus: run %s finished with %d of %d cells on disk", dir, len(recs), w.run.Manifest.Cells)
+	}
+	return w.run, recs, nil
+}

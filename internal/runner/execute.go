@@ -15,9 +15,17 @@ const (
 	tagRun   = 0x72756e21 // "run!"
 )
 
+// DefaultSampleK is the tracked-message count of the "sampled"
+// estimator when a scenario does not set one. 64 messages keep the
+// completion estimate within the additive-O(1)-round gap msg.Sampled
+// documents while costing Θ(n·64) bits instead of Θ(n²).
+const DefaultSampleK = 64
+
 // Algos lists the algorithm names Execute understands, in menu order.
+// "sampled" is the push–pull baseline observed through the Θ(n·k)
+// sampled tracker, for sizes beyond the exact tracker's n² memory wall.
 func Algos() []string {
-	return []string{"pushpull", "fast", "fast-theory", "memory",
+	return []string{"pushpull", "sampled", "fast", "fast-theory", "memory",
 		"broadcast-push", "broadcast-pull", "broadcast-pushpull"}
 }
 
@@ -29,6 +37,20 @@ func Models() []string {
 // AlgoUsesFailures reports whether the algorithm models crash failures
 // (only the memory model runs the §5 robustness experiment).
 func AlgoUsesFailures(algo string) bool { return algo == "memory" }
+
+// AlgoUsesMemoryKnobs reports whether the algorithm reads the Trees and
+// MemSlots knobs (the memory model builds that many gather trees over
+// that much per-node link memory).
+func AlgoUsesMemoryKnobs(algo string) bool { return algo == "memory" }
+
+// AlgoUsesWalkProb reports whether the algorithm reads the WalkProb
+// knob (fast-gossip's Phase II walk start probability).
+func AlgoUsesWalkProb(algo string) bool {
+	return algo == "fast" || algo == "fast-theory"
+}
+
+// AlgoUsesSampleK reports whether the algorithm reads the SampleK knob.
+func AlgoUsesSampleK(algo string) bool { return algo == "sampled" }
 
 // BuildGraph samples the scenario's topology from the given seed. The
 // density knob scales the expected degree relative to the paper's log²n
@@ -95,15 +117,39 @@ func Execute(s Scenario, rep int, seed uint64) Metrics {
 	switch s.Algo {
 	case "pushpull":
 		return gossipMetrics(core.PushPull(g, run, 0))
-	case "fast":
-		return gossipMetrics(core.FastGossip(g, core.TunedFastGossipParams(s.N), run))
-	case "fast-theory":
-		return gossipMetrics(core.FastGossip(g, core.TheoryFastGossipParams(s.N), run))
+	case "sampled":
+		k := s.SampleK
+		if k <= 0 {
+			k = DefaultSampleK
+		}
+		res := core.PushPullSampled(g, run, k, 0)
+		return Metrics{
+			"msgs_per_node": res.TransmissionsPerNode(),
+			"steps":         float64(res.Steps),
+			"completed":     b(res.Completed),
+		}
+	case "fast", "fast-theory":
+		params := core.TunedFastGossipParams(s.N)
+		if s.Algo == "fast-theory" {
+			params = core.TheoryFastGossipParams(s.N)
+		}
+		if s.WalkProb > 0 {
+			params.WalkProb = s.WalkProb
+		}
+		return gossipMetrics(core.FastGossip(g, params, run))
 	case "memory":
 		params := core.TunedMemoryParams(s.N)
+		if s.MemSlots > 0 {
+			params.MemSlots = s.MemSlots
+		}
+		if s.Trees > 0 {
+			params.Trees = s.Trees
+		}
 		if s.Failures > 0 {
-			// The §5 robustness setting: 3 independent gather trees.
-			params.Trees = 3
+			if s.Trees <= 0 {
+				// The §5 robustness setting: 3 independent gather trees.
+				params.Trees = 3
+			}
 			res := core.MemoryRobustness(g, params, run, s.Failures)
 			return Metrics{
 				"ratio":           res.Ratio,
@@ -169,6 +215,26 @@ func (g Grid) Validate() error {
 				return fmt.Errorf("runner: failure count %s resolves to %d of n=%d nodes (need < n)", f, got, n)
 			}
 		}
+	}
+	// For the knob axes, 0 means "schedule default" and is always legal;
+	// explicit values must be usable by the simulators that read them.
+	for _, t := range g.trees() {
+		if t < 0 {
+			return fmt.Errorf("runner: tree count %d out of range (need >= 0)", t)
+		}
+	}
+	for _, m := range g.memSlots() {
+		if m < 0 {
+			return fmt.Errorf("runner: memory slots %d out of range (need >= 0)", m)
+		}
+	}
+	for _, p := range g.walkProbs() {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("runner: walk probability %g out of range (need 0 <= p <= 1)", p)
+		}
+	}
+	if g.SampleK < 0 {
+		return fmt.Errorf("runner: sample size %d out of range (need >= 0)", g.SampleK)
 	}
 	return nil
 }

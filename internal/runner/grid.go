@@ -26,13 +26,41 @@ type Scenario struct {
 	// Failures crashes that many random non-leader nodes before Phase II
 	// of the memory model (0 elsewhere).
 	Failures int `json:"failures"`
+	// Trees overrides the memory model's gather-tree count (0 = schedule
+	// default: 1, or 3 in the §5 failure setting). Other algorithms
+	// ignore it.
+	Trees int `json:"trees,omitempty"`
+	// MemSlots overrides the memory model's per-node link memory
+	// capacity (0 = the paper's 4). Other algorithms ignore it.
+	MemSlots int `json:"memslots,omitempty"`
+	// WalkProb overrides fast-gossip's per-round walk start probability
+	// (0 = the schedule's 1/log n). Other algorithms ignore it.
+	WalkProb float64 `json:"walkprob,omitempty"`
+	// SampleK is the tracked-message count of the "sampled" estimator
+	// (0 = DefaultSampleK, clamped to n at run time). Other algorithms
+	// ignore it.
+	SampleK int `json:"k,omitempty"`
 	// Reps is the number of independent repetitions (seed-indexed).
 	Reps int `json:"reps"`
 }
 
-// String renders the cell compactly, e.g. "pushpull/er n=1024 d=1 f=0".
+// String renders the cell compactly, e.g. "pushpull/er n=1024 d=1 f=0",
+// with the optional knobs appended only when set.
 func (s Scenario) String() string {
-	return fmt.Sprintf("%s/%s n=%d d=%g f=%d", s.Algo, s.Model, s.N, s.density(), s.Failures)
+	str := fmt.Sprintf("%s/%s n=%d d=%g f=%d", s.Algo, s.Model, s.N, s.density(), s.Failures)
+	if s.Trees > 0 {
+		str += fmt.Sprintf(" trees=%d", s.Trees)
+	}
+	if s.MemSlots > 0 {
+		str += fmt.Sprintf(" mem=%d", s.MemSlots)
+	}
+	if s.WalkProb > 0 {
+		str += fmt.Sprintf(" wp=%g", s.WalkProb)
+	}
+	if s.SampleK > 0 {
+		str += fmt.Sprintf(" k=%d", s.SampleK)
+	}
+	return str
 }
 
 func (s Scenario) density() float64 {
@@ -44,8 +72,8 @@ func (s Scenario) density() float64 {
 
 // FailureSpec is a failure count, absolute or relative to the graph size.
 type FailureSpec struct {
-	Count int     // absolute count, used when Frac == 0
-	Frac  float64 // fraction of n in (0, 1]
+	Count int     `json:"count,omitempty"` // absolute count, used when Frac == 0
+	Frac  float64 `json:"frac,omitempty"`  // fraction of n in (0, 1]
 }
 
 // Resolve returns the concrete failure count for an n-node graph.
@@ -87,15 +115,26 @@ func ParseFailureSpec(s string) (FailureSpec, error) {
 // The dimension accessors below apply those defaults; Scenarios and
 // Validate share them so what is validated is what runs.
 type Grid struct {
-	Algos     []string
-	Models    []string
-	Sizes     []int
-	Densities []float64
-	Failures  []FailureSpec
+	Algos     []string      `json:"algos,omitempty"`
+	Models    []string      `json:"models,omitempty"`
+	Sizes     []int         `json:"sizes,omitempty"`
+	Densities []float64     `json:"densities,omitempty"`
+	Failures  []FailureSpec `json:"failures,omitempty"`
+	// Trees and MemSlots vary the memory model's gather-tree count and
+	// per-node link memory; WalkProbs varies fast-gossip's walk start
+	// probability. Each axis collapses to a single schedule-default cell
+	// for algorithms that ignore the knob, exactly like Failures.
+	Trees     []int     `json:"trees,omitempty"`
+	MemSlots  []int     `json:"memslots,omitempty"`
+	WalkProbs []float64 `json:"walkprobs,omitempty"`
+	// SampleK is the tracked-message count for "sampled" estimator cells
+	// (0 = DefaultSampleK). A knob, not an axis: it does not multiply
+	// the grid.
+	SampleK int `json:"k,omitempty"`
 	// Reps is the per-cell repetition count (<= 0 means 1).
-	Reps int
+	Reps int `json:"reps,omitempty"`
 	// Seed is the master seed the Runner derives per-cell seeds from.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 func (g Grid) algos() []string {
@@ -133,42 +172,116 @@ func (g Grid) failures() []FailureSpec {
 	return g.Failures
 }
 
+func (g Grid) trees() []int {
+	if len(g.Trees) == 0 {
+		return []int{0}
+	}
+	return g.Trees
+}
+
+func (g Grid) memSlots() []int {
+	if len(g.MemSlots) == 0 {
+		return []int{0}
+	}
+	return g.MemSlots
+}
+
+func (g Grid) walkProbs() []float64 {
+	if len(g.WalkProbs) == 0 {
+		return []float64{0}
+	}
+	return g.WalkProbs
+}
+
+// Canonical returns g with every defaulted dimension made explicit, in
+// the exact form the dimension accessors produce (SampleK included:
+// 0 and DefaultSampleK run the same computation). Two grids that expand
+// to the same scenario list under the same seed have the same canonical
+// form — the property the corpus relies on to content-address run IDs.
+func (g Grid) Canonical() Grid {
+	g.Algos = g.algos()
+	g.Models = g.models()
+	g.Sizes = g.sizes()
+	g.Densities = g.densities()
+	g.Failures = g.failures()
+	g.Trees = g.trees()
+	g.MemSlots = g.memSlots()
+	g.WalkProbs = g.walkProbs()
+	if g.SampleK <= 0 {
+		g.SampleK = DefaultSampleK
+	}
+	if g.Reps <= 0 {
+		g.Reps = 1
+	}
+	return g
+}
+
 // Scenarios expands the grid into its work list. The nesting order is
-// algo > model > size > density > failures (failures innermost), and cell
-// indices follow that order, so a grid's seed assignment is reproducible
-// from its declaration alone. The failures axis collapses to a single
-// zero-failure cell for algorithms that do not model crash failures (only
-// the memory model does), so a mixed grid never reports failure cells
-// whose failures were silently ignored.
+// algo > model > size > density > failures > trees > memslots >
+// walkprob (walkprob innermost), and cell indices follow that order, so
+// a grid's seed assignment is reproducible from its declaration alone.
+// Each knob axis collapses to a single neutral cell for algorithms that
+// ignore it (failures/trees/memslots: only the memory model; walkprob:
+// only fast-gossip), so a mixed grid never reports cells whose knobs
+// were silently ignored.
 func (g Grid) Scenarios() []Scenario {
 	algos := g.algos()
 	models := g.models()
 	sizes := g.sizes()
 	densities := g.densities()
-	failures := g.failures()
 	reps := g.Reps
 	if reps <= 0 {
 		reps = 1
 	}
-	out := make([]Scenario, 0, len(algos)*len(models)*len(sizes)*len(densities)*len(failures))
+	out := make([]Scenario, 0,
+		len(algos)*len(models)*len(sizes)*len(densities)*len(g.failures()))
 	for _, algo := range algos {
-		fs := failures
+		fs := g.failures()
+		trees := g.trees()
+		slots := g.memSlots()
 		if !AlgoUsesFailures(algo) {
 			fs = []FailureSpec{{}}
+		}
+		if !AlgoUsesMemoryKnobs(algo) {
+			trees = []int{0}
+			slots = []int{0}
+		}
+		wps := g.walkProbs()
+		if !AlgoUsesWalkProb(algo) {
+			wps = []float64{0}
+		}
+		k := 0
+		if AlgoUsesSampleK(algo) {
+			// Stamp the default so a cell's scenario names the exact
+			// computation — grids declared with and without -k produce
+			// identical records and join across runs.
+			if k = g.SampleK; k <= 0 {
+				k = DefaultSampleK
+			}
 		}
 		for _, model := range models {
 			for _, n := range sizes {
 				for _, d := range densities {
 					for _, f := range fs {
-						out = append(out, Scenario{
-							Index:    len(out),
-							Algo:     algo,
-							Model:    model,
-							N:        n,
-							Density:  d,
-							Failures: f.Resolve(n),
-							Reps:     reps,
-						})
+						for _, tr := range trees {
+							for _, ms := range slots {
+								for _, wp := range wps {
+									out = append(out, Scenario{
+										Index:    len(out),
+										Algo:     algo,
+										Model:    model,
+										N:        n,
+										Density:  d,
+										Failures: f.Resolve(n),
+										Trees:    tr,
+										MemSlots: ms,
+										WalkProb: wp,
+										SampleK:  k,
+										Reps:     reps,
+									})
+								}
+							}
+						}
 					}
 				}
 			}

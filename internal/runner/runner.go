@@ -115,6 +115,17 @@ type Runner struct {
 	// Exec runs one repetition. Nil selects Execute, the standard
 	// simulator dispatch.
 	Exec ExecFunc
+	// OnCell, if non-nil, is invoked once per completed cell as it
+	// finishes. Invocations are serialized by the runner but arrive in
+	// completion order, which depends on scheduling — pair it with an
+	// OrderedJSONL (or the corpus writer) to re-establish cell order.
+	OnCell func(CellResult)
+	// Skip, if non-nil, marks cells as already complete (checkpoint
+	// resume): they are neither executed nor reported to OnCell, and
+	// their slot in Run's result carries nil Metrics. Per-cell seeds
+	// derive from cell indices, so skipping a prefix leaves the
+	// remaining cells' results bit-identical to an uninterrupted run.
+	Skip func(Scenario) bool
 }
 
 // CellSeed returns the derived seed for repetition rep of cell index —
@@ -133,8 +144,12 @@ func (r *Runner) Run(scenarios []Scenario) []CellResult {
 	if exec == nil {
 		exec = Execute
 	}
+	var mu sync.Mutex
 	return Map(r.Workers, scenarios, func(i int, s Scenario) CellResult {
 		s.Index = i
+		if r.Skip != nil && r.Skip(s) {
+			return CellResult{Scenario: s}
+		}
 		res := CellResult{Scenario: s, Metrics: map[string]*stats.Acc{}}
 		reps := s.Reps
 		if reps <= 0 {
@@ -149,6 +164,11 @@ func (r *Runner) Run(scenarios []Scenario) []CellResult {
 				}
 				a.Add(v)
 			}
+		}
+		if r.OnCell != nil {
+			mu.Lock()
+			r.OnCell(res)
+			mu.Unlock()
 		}
 		return res
 	})

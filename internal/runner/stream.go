@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// OrderedCells re-establishes cell-index order over a parallel run's
+// completion order: completed cells arrive in any order and buffer
+// until all their predecessors have been emitted, so emit sees a strict
+// in-order sequence — at every instant a prefix of the full sweep. That
+// prefix property is what makes ordered streams both consumable
+// line-by-line and usable as checkpoints: a killed run's output is a
+// valid prefix, and a resumed run appends exactly the missing suffix.
+//
+// Add is safe for concurrent use; it is the natural Runner.OnCell.
+type OrderedCells struct {
+	mu      sync.Mutex
+	emit    func(CellRecord) error
+	next    int
+	pending map[int]CellRecord
+	err     error
+}
+
+// NewOrderedCells returns a reorderer expecting cell index next first —
+// 0 for a fresh sweep, the completed-cell count for a resumed one —
+// and invoking emit once per cell, in index order.
+func NewOrderedCells(next int, emit func(CellRecord) error) *OrderedCells {
+	return &OrderedCells{
+		emit:    emit,
+		next:    next,
+		pending: make(map[int]CellRecord),
+	}
+}
+
+// Add accepts one completed cell. Cells at or past the expected index
+// buffer until contiguous; cells before it (a resumed run's skipped
+// prefix) are ignored. After an emit error the stream goes quiet and
+// holds the error for Err — the sweep's computation is still valid,
+// only its streaming failed.
+func (o *OrderedCells) Add(c CellResult) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil || c.Scenario.Index < o.next {
+		return
+	}
+	o.pending[c.Scenario.Index] = c.Record()
+	for {
+		rec, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		if err := o.emit(rec); err != nil {
+			o.err = fmt.Errorf("runner: stream cell %d: %w", o.next, err)
+			o.pending = nil
+			return
+		}
+		o.next++
+	}
+}
+
+// Next returns the lowest cell index not yet emitted.
+func (o *OrderedCells) Next() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.next
+}
+
+// Pending returns how many completed cells are buffered waiting for a
+// predecessor.
+func (o *OrderedCells) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// Err returns the first emit error, if any.
+func (o *OrderedCells) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// OrderedJSONL is an OrderedCells emitting JSON lines — the sweep
+// stream and corpus cells.jsonl writer.
+type OrderedJSONL struct {
+	*OrderedCells
+}
+
+// NewOrderedJSONL returns a writer expecting cell index next first.
+func NewOrderedJSONL(w io.Writer, next int) *OrderedJSONL {
+	enc := json.NewEncoder(w)
+	return &OrderedJSONL{NewOrderedCells(next, func(r CellRecord) error {
+		return enc.Encode(r)
+	})}
+}
