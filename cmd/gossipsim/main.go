@@ -25,6 +25,16 @@
 //	gossipsim archive -dir corpus -add run/
 //	gossipsim compare baseline-run/ candidate-run/     # exit 1 on regression
 //	gossipsim report run/
+//
+// A grid too big for one process shards across any number of machines
+// — shard s of m runs cells i with i mod m == s, each checkpointing
+// (and resuming) independently — and the completed shards merge back
+// into a run byte-identical to a single-process sweep:
+//
+//	gossipsim sweep -sizes 1024..1048576 -shard 0/3 -out shard-0   # machine 0
+//	gossipsim sweep -sizes 1024..1048576 -shard 1/3 -out shard-1   # machine 1
+//	gossipsim sweep -sizes 1024..1048576 -shard 2/3 -out shard-2   # machine 2
+//	gossipsim merge -out run shard-0 shard-1 shard-2
 package main
 
 import (
@@ -42,6 +52,8 @@ func main() {
 		case "sweep":
 			sweepMain(os.Args[2:])
 			return
+		case "merge":
+			os.Exit(mergeMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "archive":
 			os.Exit(archiveMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "compare":

@@ -44,11 +44,17 @@ func sweepMain(args []string) {
 		csvDir  = fs.String("csv", "", "also write <dir>/sweep.csv")
 		out     = fs.String("out", "", "checkpoint the sweep to this run directory (manifest.json + cells.jsonl)")
 		resume  = fs.Bool("resume", false, "with -out: resume a killed run, skipping its completed cells")
+		shard   = fs.String("shard", "", "run only this shard of the grid: s/m (cells i with i mod m == s) or lo..hi; merge sibling shards with `gossipsim merge`")
 		quiet   = fs.Bool("q", false, "suppress the table (useful with -json -)")
 	)
 	fs.Parse(args)
 
 	grid, err := parseGrid(gf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cr, err := gossip.ParseSweepCellRange(*shard)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -69,7 +75,7 @@ func sweepMain(args []string) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		run, recs, err := gossip.ExecuteSweepRun(*out, grid, *workers, *resume, sink)
+		run, recs, err := gossip.ExecuteSweepShard(*out, grid, cr, *workers, *resume, sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -79,25 +85,32 @@ func sweepMain(args []string) {
 			os.Exit(1)
 		}
 		records = recs
-		fmt.Fprintf(os.Stderr, "run %s: %d cells in %s\n", run.Manifest.ID, len(recs), *out)
+		if cr.IsAll() {
+			fmt.Fprintf(os.Stderr, "run %s: %d cells in %s\n", run.Manifest.ID, len(recs), *out)
+		} else {
+			fmt.Fprintf(os.Stderr, "run %s shard %s: %d of %d cells in %s\n", run.Manifest.ID, cr, len(recs), run.Manifest.Cells, *out)
+		}
 	} else if *jsonOut != "" {
 		// Stream each cell as it completes instead of buffering the
 		// whole sweep: long sweeps become observable line by line.
-		records, err = runStreaming(grid, *workers, *jsonOut)
+		records, err = runStreaming(grid, cr, *workers, *jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	} else {
-		results := gossip.RunSweep(grid, *workers)
+		results := gossip.RunSweepShard(grid, cr, *workers)
 		records = make([]gossip.SweepRecord, len(results))
 		for i, r := range results {
 			records[i] = r.Record()
 		}
 	}
 
-	table := gossip.SweepRecordTable(
-		fmt.Sprintf("sweep: %d cells × %d reps, seed %d", len(records), gf.reps, gf.seed), records)
+	title := fmt.Sprintf("sweep: %d cells × %d reps, seed %d", len(records), gf.reps, gf.seed)
+	if !cr.IsAll() {
+		title += fmt.Sprintf(", shard %s", cr)
+	}
+	table := gossip.SweepRecordTable(title, records)
 	if !*quiet {
 		table.Render(os.Stdout)
 	}
@@ -110,9 +123,10 @@ func sweepMain(args []string) {
 	}
 }
 
-// runStreaming executes the grid with per-cell JSONL streaming to path
-// ("-" for stdout) and returns the serialized results.
-func runStreaming(grid gossip.SweepGrid, workers int, path string) ([]gossip.SweepRecord, error) {
+// runStreaming executes the grid — or just cr's shard of it — with
+// per-cell JSONL streaming to path ("-" for stdout) and returns the
+// serialized results.
+func runStreaming(grid gossip.SweepGrid, cr gossip.SweepCellRange, workers int, path string) ([]gossip.SweepRecord, error) {
 	sink := io.Writer(os.Stdout)
 	var f *os.File
 	if path != "-" {
@@ -123,7 +137,12 @@ func runStreaming(grid gossip.SweepGrid, workers int, path string) ([]gossip.Swe
 		sink = f
 	}
 	stream := gossip.NewSweepStream(sink)
-	results := gossip.RunSweepStream(grid, workers, stream.Add)
+	if !cr.IsAll() {
+		// A shard's owned indices, not 0,1,2,…, are the stream's
+		// expected order.
+		stream = gossip.NewSweepStreamSeq(sink, cr.Indices(len(grid.Scenarios())))
+	}
+	results := gossip.RunSweepShardStream(grid, cr, workers, stream.Add)
 	if err := stream.Err(); err != nil {
 		if f != nil {
 			f.Close()

@@ -43,32 +43,58 @@
 // Sweep results persist as runs (OpenCorpusRun, ExecuteSweepRun,
 // `gossipsim sweep -out`): a run is a directory holding
 //
-//	manifest.json   {"id", "grid", "cells", "workers", "created_at",
-//	                 "version"} — the canonical grid declaration (every
-//	                 axis explicit, master seed included), the expanded
-//	                 cell count, and provenance. "id" is the
-//	                 content-addressed run ID: hex(SHA-256(canonical
-//	                 grid JSON))[:16], so identical configurations map
-//	                 to identical IDs and a corpus (OpenCorpus,
-//	                 `gossipsim archive`) dedupes replays.
+//	manifest.json   {"id", "grid", "cells", optional "shard", "workers",
+//	                 "created_at", "version"} — the canonical grid
+//	                 declaration (every axis explicit, master seed
+//	                 included), the expanded cell count, and provenance.
+//	                 "id" is the content-addressed run ID:
+//	                 hex(SHA-256(canonical grid JSON))[:16], so
+//	                 identical configurations map to identical IDs and
+//	                 a corpus (OpenCorpus, `gossipsim archive`) dedupes
+//	                 replays.
 //	cells.jsonl     one SweepRecord JSON object per line, in cell-index
 //	                 order: the full scenario ("index", "algo", "model",
 //	                 "n", "density", "failures", optional knobs, "reps")
 //	                 plus "metrics", a name → {"mean", "ci95", "min",
 //	                 "max", "n"} aggregate map.
 //
-// cells.jsonl is streamed in strict cell order as cells complete, so at
-// every instant — including after a kill — the file is a valid prefix of
-// the full sweep. `gossipsim sweep -out dir -resume` (ExecuteSweepRun
-// with resume) verifies the stored grid hash, truncates a torn final
-// line, skips the completed prefix, and appends the missing suffix;
-// because per-cell seeds derive from cell indices, the finished file is
-// bit-identical to an uninterrupted run's. CompareRuns (`gossipsim
-// compare`, nonzero exit on regression) joins two stored runs on their
-// grid coordinates and diffs every metric under absolute+relative
-// tolerances; ReportRun (`gossipsim report`) renders a stored run as a
-// table plus ASCII density-vs-rounds plots. See examples/regressiongate
-// for the archive→compare CI gate.
+// cells.jsonl is streamed in strict cell order as cells complete —
+// fsynced on close, with the manifest and its directory fsynced on
+// create — so at every instant, including after a kill or power loss,
+// the file is a valid prefix of the full sweep. `gossipsim sweep -out
+// dir -resume` (ExecuteSweepRun with resume) verifies the stored grid
+// hash, truncates a torn final line, skips the completed prefix, and
+// appends the missing suffix; because per-cell seeds derive from cell
+// indices, the finished file is bit-identical to an uninterrupted
+// run's. CompareRuns (`gossipsim compare`, nonzero exit on regression)
+// joins two stored runs on their grid coordinates and diffs every
+// metric under absolute+relative tolerances; ReportRun (`gossipsim
+// report`) renders a stored run as a table plus ASCII
+// density-vs-rounds plots. See examples/regressiongate for the
+// archive→compare CI gate.
+//
+// # Sharded sweeps
+//
+// Grids too big for one process shard across any number of machines
+// (ExecuteSweepShard; `gossipsim sweep -shard s/m -out dir`). A shard
+// is a SweepCellRange — the modular deal "s/m" (cells i with
+// i mod m == s) or an explicit index range "lo..hi" — and a shard run
+// is an ordinary run directory whose manifest carries, under the full
+// grid's run ID, a shard stanza:
+//
+//	"shard": {"spec": "1/3", "cells": [1, 4, 7, ...]}
+//
+// with "cells" the owned grid cell indices, strictly ascending —
+// exactly the indices its cells.jsonl holds, in that order. Per-cell
+// seeds derive from grid cell indices, so every shard record is
+// bit-identical to the same cell of a single-process sweep, and each
+// shard checkpoints and resumes independently with the same torn-tail
+// rules as a full run. MergeRuns (`gossipsim merge -out run shard...`)
+// validates that completed shards share one configuration and cover
+// the grid's cells exactly once — overlaps, gaps, mismatched
+// configurations and torn tails are rejected, never silently shortened
+// — and interleaves them into a full run whose cells.jsonl is
+// byte-identical to an uninterrupted single-process sweep's.
 //
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.

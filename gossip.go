@@ -260,6 +260,9 @@ type (
 	SweepFailureSpec = runner.FailureSpec
 	// SweepCellResult aggregates one cell's repetitions per metric.
 	SweepCellResult = runner.CellResult
+	// SweepCellRange selects a shard of a grid's cells ("s/m" modular
+	// deal or an explicit index range); the zero value selects all.
+	SweepCellRange = runner.CellRange
 )
 
 // SweepAlgos lists the algorithm names RunSweep understands.
@@ -280,6 +283,22 @@ func ParseSweepFailureSpec(s string) (SweepFailureSpec, error) {
 func RunSweep(g SweepGrid, workers int) []SweepCellResult {
 	r := &runner.Runner{Workers: workers}
 	return r.RunGrid(g)
+}
+
+// ParseSweepCellRange parses a shard selector: "s/m" (cells i with
+// i mod m == s) or "lo..hi" (the half-open index range); "" selects
+// every cell.
+func ParseSweepCellRange(s string) (SweepCellRange, error) {
+	return runner.ParseCellRange(s)
+}
+
+// RunSweepShard executes only the grid cells cr selects, in ascending
+// cell-index order. Cell indices, seeds, and therefore records are
+// those of the full grid, so shards computed on different machines
+// together equal one full sweep.
+func RunSweepShard(g SweepGrid, cr SweepCellRange, workers int) []SweepCellResult {
+	r := &runner.Runner{Workers: workers}
+	return r.RunGridShard(g, cr)
 }
 
 // SweepTable renders sweep results as one row per cell.
@@ -343,6 +362,24 @@ func ExecuteSweepRun(dir string, g SweepGrid, workers int, resume bool, onRecord
 	return corpus.ExecuteRun(dir, g, workers, resume, onRecord)
 }
 
+// ExecuteSweepShard is ExecuteSweepRun restricted to cr's shard of the
+// grid: dir becomes a partial run holding exactly the owned cells (its
+// manifest gains a shard stanza under the full grid's run ID), each
+// record bit-identical to the same cell of a full run. A killed shard
+// resumes with resume=true exactly like a full run. Disjoint sibling
+// shards combine into the full run with MergeRuns (`gossipsim merge`).
+func ExecuteSweepShard(dir string, g SweepGrid, cr SweepCellRange, workers int, resume bool, onRecord func(SweepRecord)) (*CorpusRun, []SweepRecord, error) {
+	return corpus.ExecuteRunShard(dir, g, cr, workers, resume, onRecord)
+}
+
+// MergeRuns merges completed shard runs of one sweep into a full run
+// at dir, validating that the shards share one configuration and cover
+// the grid disjointly; the merged cells.jsonl is byte-identical to a
+// single-process sweep's.
+func MergeRuns(dir string, runs []*CorpusRun) (*CorpusRun, error) {
+	return corpus.MergeRuns(dir, runs)
+}
+
 // CompareRuns diffs a candidate run against a reference metric by
 // metric; see SweepComparison.Regressed for the gate verdict.
 func CompareRuns(ref, cand *CorpusRun, tol SweepTolerance) (*SweepComparison, error) {
@@ -374,10 +411,24 @@ func WriteSweepRecordJSONL(w io.Writer, recs []SweepRecord) error {
 // JSON lines in strict cell order, as each becomes contiguous.
 func NewSweepStream(w io.Writer) *SweepStream { return runner.NewOrderedJSONL(w, 0) }
 
+// NewSweepStreamSeq is NewSweepStream for a shard: the stream expects
+// exactly the cell indices in seq (ascending — a SweepCellRange's
+// Indices), in that order, and ignores cells outside it.
+func NewSweepStreamSeq(w io.Writer, seq []int) *SweepStream {
+	return runner.NewOrderedJSONLSeq(w, seq, 0)
+}
+
 // RunSweepStream is RunSweep with an on-completion callback: onCell is
 // invoked serially for each cell as it finishes (in completion order —
 // pair with NewSweepStream to re-establish cell order).
 func RunSweepStream(g SweepGrid, workers int, onCell func(SweepCellResult)) []SweepCellResult {
+	return RunSweepShardStream(g, SweepCellRange{}, workers, onCell)
+}
+
+// RunSweepShardStream is RunSweepShard with an on-completion callback
+// (pair with NewSweepStreamSeq over the shard's owned indices to
+// re-establish cell order).
+func RunSweepShardStream(g SweepGrid, cr SweepCellRange, workers int, onCell func(SweepCellResult)) []SweepCellResult {
 	r := &runner.Runner{Workers: workers, OnCell: onCell}
-	return r.RunGrid(g)
+	return r.RunGridShard(g, cr)
 }

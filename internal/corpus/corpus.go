@@ -53,21 +53,59 @@ const (
 // SchemaVersion stamps manifests with the writing schema's version.
 const SchemaVersion = "gossip-corpus/1"
 
-// Manifest describes one stored sweep run.
+// Manifest describes one stored sweep run — a full run, or one shard
+// of a run computed across processes.
 type Manifest struct {
 	// ID is the content-addressed run ID: GridID of Grid. It is stored
 	// for human consumption and verified against the grid on open.
+	// Shards of one sweep share their grid's ID (the shard stanza is
+	// provenance, not configuration), which is how MergeRuns recognizes
+	// siblings.
 	ID string `json:"id"`
 	// Grid is the canonical grid declaration, master seed included.
 	Grid runner.Grid `json:"grid"`
-	// Cells is the expanded cell count — the line count of a complete
-	// cells.jsonl.
+	// Cells is the full grid's expanded cell count. For a full run that
+	// is the line count of a complete cells.jsonl; a shard's complete
+	// file holds len(Shard.Cells) lines instead (see CellIndices).
 	Cells int `json:"cells"`
+	// Shard, when non-nil, marks the run as one shard of its grid:
+	// cells.jsonl holds exactly the cells listed, in ascending index
+	// order. Per-cell seeds derive from grid cell indices, so each
+	// record is bit-identical to the same cell of a full run, and
+	// MergeRuns can interleave disjoint shards back into one.
+	Shard *ShardManifest `json:"shard,omitempty"`
 	// Workers, CreatedAt and Version are provenance; they do not affect
 	// results and are excluded from the ID.
 	Workers   int    `json:"workers,omitempty"`
 	CreatedAt string `json:"created_at,omitempty"`
 	Version   string `json:"version,omitempty"`
+}
+
+// ShardManifest records which slice of the grid a shard run owns.
+type ShardManifest struct {
+	// Spec is the selector the shard was declared with (e.g. "1/3" or
+	// "0..120") — display provenance; Cells is authoritative.
+	Spec string `json:"spec"`
+	// Cells lists the owned grid cell indices, strictly ascending.
+	Cells []int `json:"cells"`
+}
+
+// CellIndices returns the cell indices a complete cells.jsonl holds,
+// in file order: the shard's owned cells, or nil meaning every index
+// 0..Cells-1 (a full run).
+func (m Manifest) CellIndices() []int {
+	if m.Shard != nil {
+		return m.Shard.Cells
+	}
+	return nil
+}
+
+// ExpectedCells returns the line count of a complete cells.jsonl.
+func (m Manifest) ExpectedCells() int {
+	if m.Shard != nil {
+		return len(m.Shard.Cells)
+	}
+	return m.Cells
 }
 
 // GridID content-addresses a grid: hex(SHA-256(canonical JSON))[:16].
@@ -93,6 +131,26 @@ func NewManifest(g runner.Grid) Manifest {
 	}
 }
 
+// NewShardManifest stamps a manifest for cr's shard of g. It carries
+// the full grid's ID and cell count plus the shard stanza; for an
+// all-selecting range it is NewManifest. An empty shard (no owned
+// cells) errors — it could never contribute to a merge.
+func NewShardManifest(g runner.Grid, cr runner.CellRange) (Manifest, error) {
+	m := NewManifest(g)
+	if cr.IsAll() {
+		return m, nil
+	}
+	if err := cr.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	owned := cr.Indices(m.Cells)
+	if len(owned) == 0 {
+		return Manifest{}, fmt.Errorf("corpus: shard %s of grid %s selects none of its %d cells", cr, m.ID, m.Cells)
+	}
+	m.Shard = &ShardManifest{Spec: cr.String(), Cells: owned}
+	return m, nil
+}
+
 // Run is an opened run directory.
 type Run struct {
 	Dir      string
@@ -113,6 +171,21 @@ func OpenRun(dir string) (*Run, error) {
 	if want := GridID(m.Grid); m.ID != want {
 		return nil, fmt.Errorf("corpus: run %s: manifest ID %s does not match its grid (want %s)", dir, m.ID, want)
 	}
+	if s := m.Shard; s != nil {
+		// The shard stanza is outside the content address, so sanity-
+		// check it here: a tampered cell list would otherwise surface as
+		// a baffling merge or resume failure.
+		if len(s.Cells) == 0 {
+			return nil, fmt.Errorf("corpus: run %s: shard stanza owns no cells", dir)
+		}
+		prev := -1
+		for _, i := range s.Cells {
+			if i <= prev || i >= m.Cells {
+				return nil, fmt.Errorf("corpus: run %s: shard cell list not strictly ascending within 0..%d", dir, m.Cells-1)
+			}
+			prev = i
+		}
+	}
 	return &Run{Dir: dir, Manifest: m}, nil
 }
 
@@ -120,31 +193,35 @@ func OpenRun(dir string) (*Run, error) {
 func (r *Run) CellsPath() string { return filepath.Join(r.Dir, CellsName) }
 
 // Records loads the run's cells: the valid in-order prefix of
-// cells.jsonl. For a complete run that is every cell; for a
-// checkpointed one it is the cells finished so far (a torn final line
-// from a killed writer is ignored). Use Complete to distinguish.
+// cells.jsonl. For a complete run that is every cell it owns (a
+// shard's owned cells, or the whole grid); for a checkpointed one it
+// is the cells finished so far (a torn final line from a killed writer
+// is ignored). Use Complete to distinguish.
 func (r *Run) Records() ([]runner.CellRecord, error) {
-	recs, _, err := scanCells(r.CellsPath())
+	recs, _, err := scanCells(r.CellsPath(), r.Manifest.CellIndices())
 	return recs, err
 }
 
-// Complete reports whether every grid cell is present.
+// Complete reports whether every cell the run owns is present.
 func (r *Run) Complete() (bool, error) {
-	recs, _, err := scanCells(r.CellsPath())
+	recs, err := r.Records()
 	if err != nil {
 		return false, err
 	}
-	return len(recs) == r.Manifest.Cells, nil
+	return len(recs) == r.Manifest.ExpectedCells(), nil
 }
 
 // scanCells reads the valid in-order prefix of a cells file: complete
-// lines that parse as CellRecords with consecutive indices from 0. It
-// returns the records and the byte offset just past the last valid
-// line — the truncation point for resume. A missing file is an empty
-// prefix. An unterminated or unparseable final line is a torn write
-// and ends the prefix silently; a bad line with data after it is
+// lines that parse as CellRecords whose indices follow want (the
+// expected cell index per line position; nil means the identity
+// 0, 1, 2, … of a full run). It returns the records and the byte
+// offset just past the last valid line — the truncation point for
+// resume. A missing file is an empty prefix. An unterminated or
+// unparseable final line is a torn write and ends the prefix silently;
+// a bad line with data after it, a line whose index breaks the
+// expected sequence, or more lines than the sequence holds is
 // corruption and errors.
-func scanCells(path string) ([]runner.CellRecord, int64, error) {
+func scanCells(path string, want []int) ([]runner.CellRecord, int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, 0, nil
@@ -177,10 +254,17 @@ func scanCells(path string) ([]runner.CellRecord, int64, error) {
 			}
 			return nil, 0, fmt.Errorf("corpus: cells %s line %d: %w", path, len(recs)+1, jerr)
 		}
-		if rec.Index != len(recs) {
+		expect := len(recs)
+		if want != nil {
+			if len(recs) >= len(want) {
+				return nil, 0, fmt.Errorf("corpus: cells %s line %d: more cells than the run owns (%d)", path, len(recs)+1, len(want))
+			}
+			expect = want[len(recs)]
+		}
+		if rec.Index != expect {
 			// Torn writes cannot produce a parseable line with the
 			// wrong index — this is corruption wherever it appears.
-			return nil, 0, fmt.Errorf("corpus: cells %s line %d: cell index %d, want %d", path, len(recs)+1, rec.Index, len(recs))
+			return nil, 0, fmt.Errorf("corpus: cells %s line %d: cell index %d, want %d", path, len(recs)+1, rec.Index, expect)
 		}
 		recs = append(recs, rec)
 		off += int64(len(line))
@@ -250,8 +334,13 @@ func (s *Store) Archive(g runner.Grid, workers int, createdAt string, results []
 }
 
 // Import copies an existing run directory into the store under its ID,
-// deduping like Archive.
+// deduping like Archive. Shard runs are refused: they share their full
+// grid's ID, so storing one would shadow (or be shadowed by) the
+// complete run — merge shards first (MergeRuns, `gossipsim merge`).
 func (s *Store) Import(src *Run) (r *Run, added bool, err error) {
+	if src.Manifest.Shard != nil {
+		return nil, false, fmt.Errorf("corpus: %s is shard %s of run %s — merge the shards and import the merged run", src.Dir, src.Manifest.Shard.Spec, src.Manifest.ID)
+	}
 	id := src.Manifest.ID
 	if existing := s.loadComplete(id); existing != nil {
 		return existing, false, nil
@@ -264,11 +353,12 @@ func (s *Store) Import(src *Run) (r *Run, added bool, err error) {
 	return r, err == nil, err
 }
 
-// loadComplete returns the identified run only if it opens cleanly and
-// holds every cell — the dedupe criterion.
+// loadComplete returns the identified run only if it opens cleanly,
+// is a full (non-shard) run, and holds every cell — the dedupe
+// criterion.
 func (s *Store) loadComplete(id string) *Run {
 	r, err := s.Load(id)
-	if err != nil {
+	if err != nil || r.Manifest.Shard != nil {
 		return nil
 	}
 	if done, err := r.Complete(); err != nil || !done {
@@ -320,6 +410,10 @@ func WriteRun(dir string, m Manifest, records []runner.CellRecord) (*Run, error)
 		f.Close()
 		return nil, err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: sync cells: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		return nil, fmt.Errorf("corpus: close cells: %w", err)
 	}
@@ -329,17 +423,52 @@ func WriteRun(dir string, m Manifest, records []runner.CellRecord) (*Run, error)
 	if err := os.Rename(tmp, dir); err != nil {
 		return nil, fmt.Errorf("corpus: commit run: %w", err)
 	}
+	// Make the rename itself durable: a power loss after WriteRun
+	// returns must not resurrect the old directory entry.
+	if err := syncDir(parent); err != nil {
+		return nil, err
+	}
 	return &Run{Dir: dir, Manifest: m}, nil
 }
 
+// writeManifest durably writes dir's manifest: the file is fsynced,
+// and so is dir, so after it returns neither the manifest's bytes nor
+// its directory entry can be lost to a power cut — the anchor of the
+// checkpoint format's "valid prefix at every instant" claim.
 func writeManifest(dir string, m Manifest) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("corpus: marshal manifest: %w", err)
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile(filepath.Join(dir, ManifestName), b, 0o644); err != nil {
+	f, err := os.OpenFile(filepath.Join(dir, ManifestName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("corpus: write manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("corpus: close manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so freshly created entries survive power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("corpus: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("corpus: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"fmt"
+
+	"gossip/internal/runner"
+)
+
+// MergeRuns interleaves completed shard runs of one sweep back into a
+// single full run at dir. Every input must record the same
+// configuration (equal content-addressed grid IDs), be complete (a
+// torn or still-running shard must be resumed first, never silently
+// shortened), and together the shards must cover the grid's cells
+// exactly once — overlaps and gaps are both rejected. Because per-cell
+// seeds derive from grid cell indices, the merged cells.jsonl is
+// byte-identical to the one a single uninterrupted process would have
+// written; the merged manifest drops the shard stanza and carries no
+// workers/creation provenance (the shards' own manifests keep theirs).
+//
+// A complete full run is accepted as the degenerate one-shard case, so
+// MergeRuns(dir, []*Run{full}) is a verified copy.
+func MergeRuns(dir string, runs []*Run) (*Run, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("corpus: merge: no shard runs given")
+	}
+	m := NewManifest(runs[0].Manifest.Grid)
+	all := m.Grid.Scenarios()
+	merged := make([]runner.CellRecord, m.Cells)
+	owner := make([]*Run, m.Cells)
+	for _, r := range runs {
+		if r.Manifest.ID != m.ID {
+			return nil, fmt.Errorf("corpus: merge: %s records run %s, not %s (%s) — shards of different sweeps cannot merge", r.Dir, r.Manifest.ID, m.ID, runs[0].Dir)
+		}
+		recs, err := r.Records()
+		if err != nil {
+			return nil, err
+		}
+		if want := r.Manifest.ExpectedCells(); len(recs) != want {
+			return nil, fmt.Errorf("corpus: merge: shard %s (%s) holds %d of its %d cells — resume it to completion first", r.Dir, shardSpec(r.Manifest.Shard), len(recs), want)
+		}
+		if err := verifyScenarios(r.Dir, all, r.Manifest.CellIndices(), recs); err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			// verifyScenarios bounds-checked every index against the
+			// grid expansion, so rec.Index < m.Cells here.
+			if prev := owner[rec.Index]; prev != nil {
+				return nil, fmt.Errorf("corpus: merge: cell %d owned by both %s (%s) and %s (%s)", rec.Index, prev.Dir, shardSpec(prev.Manifest.Shard), r.Dir, shardSpec(r.Manifest.Shard))
+			}
+			owner[rec.Index] = r
+			merged[rec.Index] = rec
+		}
+	}
+	missing := 0
+	first := -1
+	for i, r := range owner {
+		if r == nil {
+			if first < 0 {
+				first = i
+			}
+			missing++
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("corpus: merge: %d of %d cells missing (first gap at cell %d) — the given shards do not cover the grid", missing, m.Cells, first)
+	}
+	return WriteRun(dir, m, merged)
+}
+
+// MergeRunDirs opens each shard directory and merges them into dir.
+func MergeRunDirs(dir string, shardDirs []string) (*Run, error) {
+	runs := make([]*Run, len(shardDirs))
+	for i, d := range shardDirs {
+		r, err := OpenRun(d)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+	return MergeRuns(dir, runs)
+}

@@ -242,7 +242,7 @@ func TestScanCellsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, mid, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := scanCells(path); err == nil {
+	if _, _, err := scanCells(path, nil); err == nil {
 		t.Error("mid-file garbage accepted")
 	}
 
@@ -251,7 +251,7 @@ func TestScanCellsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, skip, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := scanCells(path); err == nil {
+	if _, _, err := scanCells(path, nil); err == nil {
 		t.Error("index gap accepted")
 	}
 
@@ -260,13 +260,13 @@ func TestScanCellsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	recs, off, err := scanCells(path)
+	recs, off, err := scanCells(path, nil)
 	if err != nil || len(recs) != 1 || off != int64(len(lines[0])) {
 		t.Errorf("torn final line: recs=%d off=%d err=%v; want 1, %d, nil", len(recs), off, err, len(lines[0]))
 	}
 
 	// A missing file is an empty prefix.
-	if recs, off, err := scanCells(filepath.Join(dir, "nope.jsonl")); err != nil || len(recs) != 0 || off != 0 {
+	if recs, off, err := scanCells(filepath.Join(dir, "nope.jsonl"), nil); err != nil || len(recs) != 0 || off != 0 {
 		t.Errorf("missing file: recs=%d off=%d err=%v", len(recs), off, err)
 	}
 }

@@ -12,8 +12,8 @@ import (
 
 // Writer streams a run to disk as its cells complete, in cell-index
 // order, so the run directory is a valid checkpoint at every instant.
-// Wire OnCell and Skip into a runner.Runner and Close when the run
-// returns.
+// For a shard run the order is the shard's owned-cell sequence. Wire
+// OnCell and Skip into a runner.Runner and Close when the run returns.
 type Writer struct {
 	run    *Run
 	f      *os.File
@@ -21,9 +21,22 @@ type Writer struct {
 	prefix []runner.CellRecord
 }
 
-// CreateRun initializes dir as a fresh run for m: writes the manifest
-// and an empty cells.jsonl. It refuses a directory that already holds a
-// run (resume or pick a new directory — silently truncating recorded
+// newWriter assembles a Writer over an open cells file positioned
+// after the done-cell prefix.
+func newWriter(r *Run, f *os.File, prefix []runner.CellRecord) *Writer {
+	w := &Writer{run: r, f: f, prefix: prefix}
+	if seq := r.Manifest.CellIndices(); seq != nil {
+		w.ord = runner.NewOrderedJSONLSeq(f, seq, len(prefix))
+	} else {
+		w.ord = runner.NewOrderedJSONL(f, len(prefix))
+	}
+	return w
+}
+
+// CreateRun initializes dir as a fresh run for m (a full run, or a
+// shard when m carries a shard stanza): writes the manifest and an
+// empty cells.jsonl. It refuses a directory that already holds a run
+// (resume or pick a new directory — silently truncating recorded
 // results is how corpora rot).
 func CreateRun(dir string, m Manifest) (*Writer, error) {
 	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
@@ -41,30 +54,49 @@ func CreateRun(dir string, m Manifest) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: create cells: %w", err)
 	}
-	return &Writer{
-		run: &Run{Dir: dir, Manifest: m},
-		f:   f,
-		ord: runner.NewOrderedJSONL(f, 0),
-	}, nil
+	// Persist the cells file's directory entry alongside the manifest's,
+	// so a crash right after create leaves a well-formed empty run.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newWriter(&Run{Dir: dir, Manifest: m}, f, nil), nil
 }
 
-// ResumeRun reopens dir's checkpoint to continue g. It verifies that
-// the stored run records the same configuration (equal content-
-// addressed grid IDs — same grid, same master seed), truncates any torn
-// final line, and positions the writer after the completed prefix. The
-// sweep then skips Done cells and appends the rest; because per-cell
-// seeds derive from cell indices, the finished cells.jsonl is
-// bit-identical to an uninterrupted run's.
+// ResumeRun reopens dir's checkpoint to continue a full run of g; see
+// ResumeRunShard.
 func ResumeRun(dir string, g runner.Grid) (*Writer, error) {
+	return ResumeRunShard(dir, g, runner.CellRange{})
+}
+
+// ResumeRunShard reopens dir's checkpoint to continue cr's shard of g.
+// It verifies that the stored run records the same configuration
+// (equal content-addressed grid IDs — same grid, same master seed) and
+// the same shard (same owned cells), truncates any torn final line,
+// and positions the writer after the completed prefix. The sweep then
+// skips Done cells and appends the rest; because per-cell seeds derive
+// from grid cell indices, the finished cells.jsonl is bit-identical to
+// an uninterrupted run's.
+func ResumeRunShard(dir string, g runner.Grid, cr runner.CellRange) (*Writer, error) {
 	r, err := OpenRun(dir)
 	if err != nil {
 		return nil, err
 	}
-	if want := GridID(g); r.Manifest.ID != want {
-		return nil, fmt.Errorf("corpus: resume %s: stored run %s was recorded under a different grid/seed (this sweep is %s)", dir, r.Manifest.ID, want)
-	}
-	recs, off, err := scanCells(r.CellsPath())
+	want, err := NewShardManifest(g, cr)
 	if err != nil {
+		return nil, err
+	}
+	if r.Manifest.ID != want.ID {
+		return nil, fmt.Errorf("corpus: resume %s: stored run %s was recorded under a different grid/seed (this sweep is %s)", dir, r.Manifest.ID, want.ID)
+	}
+	if !sameShard(r.Manifest.Shard, want.Shard) {
+		return nil, fmt.Errorf("corpus: resume %s: stored run covers shard %s, this sweep covers %s", dir, shardSpec(r.Manifest.Shard), shardSpec(want.Shard))
+	}
+	recs, off, err := scanCells(r.CellsPath(), r.Manifest.CellIndices())
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyScenarios(r.Dir, want.Grid.Scenarios(), want.CellIndices(), recs); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(r.CellsPath(), os.O_CREATE|os.O_WRONLY, 0o644)
@@ -79,19 +111,67 @@ func ResumeRun(dir string, g runner.Grid) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("corpus: seek cells: %w", err)
 	}
-	return &Writer{
-		run:    r,
-		f:      f,
-		ord:    runner.NewOrderedJSONL(f, len(recs)),
-		prefix: recs,
-	}, nil
+	return newWriter(r, f, recs), nil
+}
+
+// verifyScenarios checks that stored records name exactly the cells
+// the grid expands to (all = the grid's expansion; seq = the cell
+// index per record position, nil for the identity of a full run).
+// Matching indices alone would accept a checkpoint whose scenarios
+// resolved differently under another build — say, an older
+// failure-fraction rounding — and silently mix two computations in one
+// "valid" run.
+func verifyScenarios(dir string, all []runner.Scenario, seq []int, recs []runner.CellRecord) error {
+	for p, rec := range recs {
+		idx := p
+		if seq != nil {
+			idx = seq[p]
+		}
+		if idx >= len(all) {
+			return fmt.Errorf("corpus: %s: cell index %d beyond the grid's %d cells", dir, idx, len(all))
+		}
+		if rec.Scenario != all[idx] {
+			return fmt.Errorf("corpus: %s: cell %d was recorded as %v, but this grid expands it to %v — the stored run predates a change to grid expansion; archive it and start fresh", dir, idx, rec.Scenario, all[idx])
+		}
+	}
+	return nil
+}
+
+// sameShard reports whether two shard stanzas own the same cells (the
+// display spec may differ — "0/1" and an explicit full range select
+// identically).
+func sameShard(a, b *ShardManifest) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Cells) != len(b.Cells) {
+		return false
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardSpec names a shard stanza for error messages ("all" for a full
+// run).
+func shardSpec(s *ShardManifest) string {
+	if s == nil {
+		return "all"
+	}
+	return s.Spec
 }
 
 // Run returns the run being written.
 func (w *Writer) Run() *Run { return w.run }
 
-// Done returns how many leading cells were already complete when the
-// writer opened.
+// Done returns how many leading owned cells were already complete when
+// the writer opened.
 func (w *Writer) Done() int { return len(w.prefix) }
 
 // Prefix returns the records that were already on disk when the writer
@@ -101,46 +181,72 @@ func (w *Writer) Prefix() []runner.CellRecord { return w.prefix }
 // OnCell streams one completed cell; wire it as runner.Runner.OnCell.
 func (w *Writer) OnCell(c runner.CellResult) { w.ord.Add(c) }
 
-// Skip reports whether a cell is already on disk; wire it as
-// runner.Runner.Skip.
-func (w *Writer) Skip(s runner.Scenario) bool { return s.Index < len(w.prefix) }
+// Skip reports whether a cell needs no work — already on disk, or not
+// owned by this writer's shard; wire it as runner.Runner.Skip.
+func (w *Writer) Skip(s runner.Scenario) bool {
+	p, ok := w.ord.Position(s.Index)
+	return !ok || p < len(w.prefix)
+}
 
-// Close flushes and closes the checkpoint, reporting any streaming
-// error the sweep's computation outran.
+// Close flushes, fsyncs and closes the checkpoint, reporting any
+// streaming error the sweep's computation outran. The fsync is what
+// upgrades "valid prefix at every instant" from kill-safety to
+// power-loss-safety for a completed writer.
 func (w *Writer) Close() error {
 	err := w.ord.Err()
+	if serr := w.f.Sync(); serr != nil && err == nil {
+		err = fmt.Errorf("corpus: sync cells: %w", serr)
+	}
 	if cerr := w.f.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("corpus: close cells: %w", cerr)
 	}
 	return err
 }
 
-// ExecuteRun runs g to completion in dir with checkpointing: each cell
-// streams to cells.jsonl as it finishes. With resume set and dir
-// already holding this configuration's checkpoint, completed cells are
-// skipped and only the missing suffix executes; without resume, dir
-// must be fresh. It returns the run and its full record set (loaded
-// cells for the skipped prefix, fresh results for the rest — i.e. the
-// final file's contents).
+// ExecuteRun runs g to completion in dir with checkpointing; it is
+// ExecuteRunShard over the whole grid.
+func ExecuteRun(dir string, g runner.Grid, workers int, resume bool, onRecord func(runner.CellRecord)) (*Run, []runner.CellRecord, error) {
+	return ExecuteRunShard(dir, g, runner.CellRange{}, workers, resume, onRecord)
+}
+
+// ExecuteRunShard runs cr's shard of g to completion in dir with
+// checkpointing: each owned cell streams to cells.jsonl as it
+// finishes, in ascending cell-index order. With resume set and dir
+// already holding this configuration's checkpoint (same grid ID, same
+// shard), completed cells are skipped and only the missing suffix
+// executes; without resume, dir must be fresh. It returns the run and
+// its full owned record set (loaded cells for the skipped prefix,
+// fresh results for the rest — i.e. the final file's contents).
+// Sibling shards executed anywhere combine into the full sweep with
+// MergeRuns.
 //
-// onRecord, if non-nil, observes the full record sequence in strict
+// onRecord, if non-nil, observes the owned record sequence in strict
 // cell order as it becomes available: a resumed run's loaded prefix is
 // replayed immediately, then each fresh cell as it completes — a live
 // tee of cells.jsonl for progress streaming.
-func ExecuteRun(dir string, g runner.Grid, workers int, resume bool, onRecord func(runner.CellRecord)) (*Run, []runner.CellRecord, error) {
+func ExecuteRunShard(dir string, g runner.Grid, cr runner.CellRange, workers int, resume bool, onRecord func(runner.CellRecord)) (*Run, []runner.CellRecord, error) {
 	var (
 		w   *Writer
 		err error
 	)
 	if resume {
 		if _, serr := os.Stat(filepath.Join(dir, ManifestName)); serr == nil {
-			w, err = ResumeRun(dir, g)
+			w, err = ResumeRunShard(dir, g, cr)
+		} else if !errors.Is(serr, os.ErrNotExist) {
+			// A probe failure (permission, a file where the directory
+			// should be, …) is not "no checkpoint here": falling through
+			// to CreateRun would mask the real problem behind its own
+			// confusing failure.
+			return nil, nil, fmt.Errorf("corpus: probe checkpoint %s: %w", dir, serr)
 		} else {
 			resume = false
 		}
 	}
 	if w == nil && err == nil {
-		m := NewManifest(g)
+		m, merr := NewShardManifest(g, cr)
+		if merr != nil {
+			return nil, nil, merr
+		}
 		m.Workers = workers
 		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		w, err = CreateRun(dir, m)
@@ -153,17 +259,23 @@ func ExecuteRun(dir string, g runner.Grid, workers int, resume bool, onRecord fu
 		for _, rec := range w.Prefix() {
 			onRecord(rec)
 		}
-		tee := runner.NewOrderedCells(w.Done(), func(rec runner.CellRecord) error {
+		emit := func(rec runner.CellRecord) error {
 			onRecord(rec)
 			return nil
-		})
+		}
+		var tee *runner.OrderedCells
+		if seq := w.run.Manifest.CellIndices(); seq != nil {
+			tee = runner.NewOrderedCellsSeq(seq, w.Done(), emit)
+		} else {
+			tee = runner.NewOrderedCells(w.Done(), emit)
+		}
 		onCell = func(c runner.CellResult) {
 			w.OnCell(c)
 			tee.Add(c)
 		}
 	}
 	r := &runner.Runner{Workers: workers, OnCell: onCell, Skip: w.Skip}
-	r.RunGrid(g)
+	r.RunGridShard(g, cr)
 	if err := w.Close(); err != nil {
 		return nil, nil, err
 	}
@@ -171,8 +283,8 @@ func ExecuteRun(dir string, g runner.Grid, workers int, resume bool, onRecord fu
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(recs) != w.run.Manifest.Cells {
-		return nil, nil, fmt.Errorf("corpus: run %s finished with %d of %d cells on disk", dir, len(recs), w.run.Manifest.Cells)
+	if want := w.run.Manifest.ExpectedCells(); len(recs) != want {
+		return nil, nil, fmt.Errorf("corpus: run %s finished with %d of %d cells on disk", dir, len(recs), want)
 	}
 	return w.run, recs, nil
 }

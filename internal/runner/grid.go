@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -76,10 +77,13 @@ type FailureSpec struct {
 	Frac  float64 `json:"frac,omitempty"`  // fraction of n in (0, 1]
 }
 
-// Resolve returns the concrete failure count for an n-node graph.
+// Resolve returns the concrete failure count for an n-node graph,
+// rounding Frac·n to the nearest integer — truncation would lose a
+// node whenever the product lands a float ulp below it (0.07·300 is
+// 20.999…, not 21).
 func (f FailureSpec) Resolve(n int) int {
 	if f.Frac > 0 {
-		return int(f.Frac * float64(n))
+		return int(math.Round(f.Frac * float64(n)))
 	}
 	return f.Count
 }
@@ -233,8 +237,24 @@ func (g Grid) Scenarios() []Scenario {
 	if reps <= 0 {
 		reps = 1
 	}
-	out := make([]Scenario, 0,
-		len(algos)*len(models)*len(sizes)*len(densities)*len(g.failures()))
+	// The capacity accounts for every axis, including the per-algorithm
+	// collapse of the knob axes, so the expansion never reallocates and
+	// wastes nothing (len == cap on return).
+	perDim := 0
+	for _, algo := range algos {
+		nf, nt, nm, nw := len(g.failures()), len(g.trees()), len(g.memSlots()), len(g.walkProbs())
+		if !AlgoUsesFailures(algo) {
+			nf = 1
+		}
+		if !AlgoUsesMemoryKnobs(algo) {
+			nt, nm = 1, 1
+		}
+		if !AlgoUsesWalkProb(algo) {
+			nw = 1
+		}
+		perDim += nf * nt * nm * nw
+	}
+	out := make([]Scenario, 0, perDim*len(models)*len(sizes)*len(densities))
 	for _, algo := range algos {
 		fs := g.failures()
 		trees := g.trees()

@@ -140,13 +140,25 @@ func CellSeed(master uint64, index, rep int) uint64 {
 // the scenario's position in the slice — Run stamps it into
 // Scenario.Index, so hand-built lists need not (and cannot) set it.
 func (r *Runner) Run(scenarios []Scenario) []CellResult {
+	cells := make([]Scenario, len(scenarios))
+	for i, s := range scenarios {
+		s.Index = i
+		cells[i] = s
+	}
+	return r.run(cells)
+}
+
+// run executes pre-indexed cells: per-cell seeds derive from each
+// scenario's stamped Index, not its slice position, so a filtered
+// subset of a grid (a shard) computes exactly what a full run would
+// for those cells.
+func (r *Runner) run(cells []Scenario) []CellResult {
 	exec := r.Exec
 	if exec == nil {
 		exec = Execute
 	}
 	var mu sync.Mutex
-	return Map(r.Workers, scenarios, func(i int, s Scenario) CellResult {
-		s.Index = i
+	return Map(r.Workers, cells, func(_ int, s Scenario) CellResult {
 		if r.Skip != nil && r.Skip(s) {
 			return CellResult{Scenario: s}
 		}
@@ -156,7 +168,7 @@ func (r *Runner) Run(scenarios []Scenario) []CellResult {
 			reps = 1
 		}
 		for rep := 0; rep < reps; rep++ {
-			for k, v := range exec(s, rep, CellSeed(r.Seed, i, rep)) {
+			for k, v := range exec(s, rep, CellSeed(r.Seed, s.Index, rep)) {
 				a, ok := res.Metrics[k]
 				if !ok {
 					a = &stats.Acc{}
@@ -176,8 +188,18 @@ func (r *Runner) Run(scenarios []Scenario) []CellResult {
 
 // RunGrid expands g and executes it.
 func (r *Runner) RunGrid(g Grid) []CellResult {
+	return r.RunGridShard(g, CellRange{})
+}
+
+// RunGridShard expands g and executes only the cells cr selects, one
+// result per owned cell in ascending index order. Scenario indices —
+// and therefore seeds and results — are those of the full grid, so m
+// shard runs together compute exactly what one full run would;
+// interleaving their records by cell index reconstructs it (see
+// corpus.MergeRuns).
+func (r *Runner) RunGridShard(g Grid, cr CellRange) []CellResult {
 	if r.Seed == 0 {
 		r.Seed = g.Seed
 	}
-	return r.Run(g.Scenarios())
+	return r.run(cr.Filter(g.Scenarios()))
 }

@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CellRange selects a subset of a grid's cell indices — the unit of
+// cross-process sharding. Because per-cell seeds derive from the master
+// seed and the grid cell index, any subset of cells computed anywhere
+// yields records bit-identical to the same cells of a single-process
+// sweep; a CellRange just names which subset a process owns.
+//
+// The zero value selects every cell. A modular shard (Shard/Of) deals
+// cells round-robin — shard s of m owns cells i with i mod m == s — so
+// m equally loaded processes cover a grid without coordinating. An
+// index range ([Lo, Hi)) carves out an explicit contiguous slice. When
+// both are set the selection is their intersection.
+type CellRange struct {
+	// Shard and Of select cells i with i mod Of == Shard, when Of > 1
+	// (0 <= Shard < Of). Of <= 1 disables the modular filter.
+	Shard int `json:"shard,omitempty"`
+	Of    int `json:"of,omitempty"`
+	// Lo and Hi select the half-open index range [Lo, Hi), when Hi > 0.
+	// Hi == 0 disables the range filter.
+	Lo int `json:"lo,omitempty"`
+	Hi int `json:"hi,omitempty"`
+}
+
+// ParseCellRange parses a shard selector: "s/m" (modular shard s of m)
+// or "lo..hi" (the half-open cell index range [lo, hi)). An empty
+// string selects every cell.
+func ParseCellRange(s string) (CellRange, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return CellRange{}, nil
+	}
+	if shard, of, ok := strings.Cut(s, "/"); ok {
+		a, err1 := strconv.Atoi(shard)
+		b, err2 := strconv.Atoi(of)
+		// m < 1 would be the "filter disabled" sentinel, which typed
+		// input must never reach: "0/0" silently meaning "every cell"
+		// is how a whole grid runs on a machine meant to run a slice.
+		if err1 != nil || err2 != nil || b < 1 {
+			return CellRange{}, fmt.Errorf("runner: bad shard %q (want s/m with m >= 1, or lo..hi)", s)
+		}
+		cr := CellRange{Shard: a, Of: b}
+		return cr, cr.Validate()
+	}
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		// hi < 1 (e.g. "5..0") would likewise disable the filter.
+		if err1 != nil || err2 != nil || b < 1 {
+			return CellRange{}, fmt.Errorf("runner: bad cell range %q (want lo..hi with 0 <= lo < hi)", s)
+		}
+		cr := CellRange{Lo: a, Hi: b}
+		return cr, cr.Validate()
+	}
+	return CellRange{}, fmt.Errorf("runner: bad shard %q (want s/m or lo..hi)", s)
+}
+
+// Validate rejects selections that can never match a cell, and the
+// ambiguous Lo-without-Hi form (Hi == 0 disables the range filter, so
+// a stray Lo would be silently ignored).
+func (c CellRange) Validate() error {
+	if c.Of < 0 || (c.Of > 0 && (c.Shard < 0 || c.Shard >= c.Of)) {
+		return fmt.Errorf("runner: shard %d/%d out of range (need 0 <= s < m)", c.Shard, c.Of)
+	}
+	if c.Lo < 0 || c.Hi < 0 || (c.Hi > 0 && c.Lo >= c.Hi) {
+		return fmt.Errorf("runner: cell range %d..%d empty (need 0 <= lo < hi)", c.Lo, c.Hi)
+	}
+	if c.Hi == 0 && c.Lo > 0 {
+		return fmt.Errorf("runner: cell range lower bound %d without an upper bound", c.Lo)
+	}
+	return nil
+}
+
+// IsAll reports whether the range selects every cell.
+func (c CellRange) IsAll() bool { return c.Of <= 1 && c.Hi == 0 }
+
+// Contains reports whether cell index i is selected.
+func (c CellRange) Contains(i int) bool {
+	if c.Of > 1 && i%c.Of != c.Shard {
+		return false
+	}
+	if c.Hi > 0 && (i < c.Lo || i >= c.Hi) {
+		return false
+	}
+	return true
+}
+
+// Indices returns the selected cell indices of an n-cell grid, in
+// ascending order.
+func (c CellRange) Indices(n int) []int {
+	if c.IsAll() {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if c.Contains(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Filter returns the scenarios whose stamped Index the range selects,
+// preserving both order and indices.
+func (c CellRange) Filter(scenarios []Scenario) []Scenario {
+	if c.IsAll() {
+		return scenarios
+	}
+	var out []Scenario
+	for _, s := range scenarios {
+		if c.Contains(s.Index) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// String renders the selector for display: "s/m" or "lo..hi" round-
+// trip through ParseCellRange; a conjunction (both filters set, only
+// constructible through the API) renders as both parts joined by "&",
+// and the zero value as "all" — neither is a parseable input.
+func (c CellRange) String() string {
+	var parts []string
+	if c.Of > 1 {
+		parts = append(parts, fmt.Sprintf("%d/%d", c.Shard, c.Of))
+	}
+	if c.Hi > 0 {
+		parts = append(parts, fmt.Sprintf("%d..%d", c.Lo, c.Hi))
+	}
+	if len(parts) == 0 {
+		return "all"
+	}
+	return strings.Join(parts, "&")
+}

@@ -15,58 +15,107 @@ import (
 // line-by-line and usable as checkpoints: a killed run's output is a
 // valid prefix, and a resumed run appends exactly the missing suffix.
 //
+// A stream follows either the identity order (cell indices 0, 1, 2, …
+// — a full sweep) or an explicit ascending index sequence (a shard's
+// owned cells — see CellRange); the prefix property holds in both.
+//
 // Add is safe for concurrent use; it is the natural Runner.OnCell.
 type OrderedCells struct {
 	mu      sync.Mutex
 	emit    func(CellRecord) error
-	next    int
-	pending map[int]CellRecord
+	seq     []int              // expected cell indices in emit order; nil = identity
+	posOf   map[int]int        // cell index → emit position; nil when seq is
+	pos     int                // next emit position
+	pending map[int]CellRecord // completed cells keyed by emit position
 	err     error
 }
 
-// NewOrderedCells returns a reorderer expecting cell index next first —
-// 0 for a fresh sweep, the completed-cell count for a resumed one —
-// and invoking emit once per cell, in index order.
+// NewOrderedCells returns a reorderer over the identity order expecting
+// cell index next first — 0 for a fresh sweep, the completed-cell count
+// for a resumed one — and invoking emit once per cell, in index order.
 func NewOrderedCells(next int, emit func(CellRecord) error) *OrderedCells {
 	return &OrderedCells{
 		emit:    emit,
-		next:    next,
+		pos:     next,
 		pending: make(map[int]CellRecord),
 	}
 }
 
-// Add accepts one completed cell. Cells at or past the expected index
-// buffer until contiguous; cells before it (a resumed run's skipped
-// prefix) are ignored. After an emit error the stream goes quiet and
-// holds the error for Err — the sweep's computation is still valid,
-// only its streaming failed.
-func (o *OrderedCells) Add(c CellResult) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if o.err != nil || c.Scenario.Index < o.next {
-		return
+// NewOrderedCellsSeq returns a reorderer expecting exactly the cell
+// indices in seq, in that order, with the first done of them already
+// emitted (a resumed shard's completed prefix). Cells outside seq are
+// ignored.
+func NewOrderedCellsSeq(seq []int, done int, emit func(CellRecord) error) *OrderedCells {
+	posOf := make(map[int]int, len(seq))
+	for p, i := range seq {
+		posOf[i] = p
 	}
-	o.pending[c.Scenario.Index] = c.Record()
-	for {
-		rec, ok := o.pending[o.next]
-		if !ok {
-			return
-		}
-		delete(o.pending, o.next)
-		if err := o.emit(rec); err != nil {
-			o.err = fmt.Errorf("runner: stream cell %d: %w", o.next, err)
-			o.pending = nil
-			return
-		}
-		o.next++
+	return &OrderedCells{
+		emit:    emit,
+		seq:     seq,
+		posOf:   posOf,
+		pos:     done,
+		pending: make(map[int]CellRecord),
 	}
 }
 
-// Next returns the lowest cell index not yet emitted.
+// position maps a cell index to its emit position; ok is false for
+// cells the stream does not own.
+func (o *OrderedCells) position(index int) (int, bool) {
+	if o.posOf == nil {
+		return index, true
+	}
+	p, ok := o.posOf[index]
+	return p, ok
+}
+
+// Add accepts one completed cell. Cells at or past the expected
+// position buffer until contiguous; cells before it (a resumed run's
+// skipped prefix) and cells the stream does not own (another shard's)
+// are ignored. After an emit error the stream goes quiet and holds the
+// error for Err — the sweep's computation is still valid, only its
+// streaming failed.
+func (o *OrderedCells) Add(c CellResult) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.err != nil {
+		return
+	}
+	p, ok := o.position(c.Scenario.Index)
+	if !ok || p < o.pos {
+		return
+	}
+	o.pending[p] = c.Record()
+	for {
+		rec, ok := o.pending[o.pos]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.pos)
+		if err := o.emit(rec); err != nil {
+			o.err = fmt.Errorf("runner: stream cell %d: %w", rec.Index, err)
+			o.pending = nil
+			return
+		}
+		o.pos++
+	}
+}
+
+// Position returns the emit position of a cell index — its line
+// number in the completed stream — and whether the stream owns it at
+// all (an identity stream owns every index).
+func (o *OrderedCells) Position(index int) (int, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.position(index)
+}
+
+// Next returns the emit position of the next cell the stream is
+// waiting for — for an identity stream, the cell index itself.
 func (o *OrderedCells) Next() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.next
+	return o.pos
 }
 
 // Pending returns how many completed cells are buffered waiting for a
@@ -90,10 +139,22 @@ type OrderedJSONL struct {
 	*OrderedCells
 }
 
-// NewOrderedJSONL returns a writer expecting cell index next first.
+// NewOrderedJSONL returns a writer over the identity order expecting
+// cell index next first.
 func NewOrderedJSONL(w io.Writer, next int) *OrderedJSONL {
+	return &OrderedJSONL{NewOrderedCells(next, jsonlEmit(w))}
+}
+
+// NewOrderedJSONLSeq returns a writer expecting exactly the cell
+// indices in seq, with the first done already on disk — the shard
+// checkpoint writer.
+func NewOrderedJSONLSeq(w io.Writer, seq []int, done int) *OrderedJSONL {
+	return &OrderedJSONL{NewOrderedCellsSeq(seq, done, jsonlEmit(w))}
+}
+
+func jsonlEmit(w io.Writer) func(CellRecord) error {
 	enc := json.NewEncoder(w)
-	return &OrderedJSONL{NewOrderedCells(next, func(r CellRecord) error {
+	return func(r CellRecord) error {
 		return enc.Encode(r)
-	})}
+	}
 }
