@@ -35,6 +35,13 @@
 //	gossipsim sweep -sizes 1024..1048576 -shard 1/3 -out shard-1   # machine 1
 //	gossipsim sweep -sizes 1024..1048576 -shard 2/3 -out shard-2   # machine 2
 //	gossipsim merge -out run shard-0 shard-1 shard-2
+//
+// On one machine, the dispatcher runs that whole workflow as a single
+// command: it launches the shards as subprocesses, monitors their
+// progress, restarts crashed shards from their checkpoints, and merges
+// the result (see `gossipsim dispatch -h`):
+//
+//	gossipsim dispatch -shards 3 -sizes 1024..1048576 -out run -archive corpus
 package main
 
 import (
@@ -52,6 +59,8 @@ func main() {
 		case "sweep":
 			sweepMain(os.Args[2:])
 			return
+		case "dispatch":
+			os.Exit(dispatchMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "merge":
 			os.Exit(mergeMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "archive":

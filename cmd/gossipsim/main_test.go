@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -184,5 +186,53 @@ func TestSweepEndToEnd(t *testing.T) {
 	gossip.SweepTable("t", results).Render(&tb)
 	if !strings.Contains(tb.String(), "pushpull") {
 		t.Errorf("sweep table missing algo:\n%s", tb.String())
+	}
+}
+
+// TestRunStreamingThroughJSONSink: the -json streaming path shares
+// openJSONSink's plumbing — records land in cell order, a shard
+// streams exactly its owned cells, and an unwritable path errors.
+func TestRunStreamingThroughJSONSink(t *testing.T) {
+	grid, err := parseGrid(flags("pushpull", "er", "64,128", "1,2", "0", 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	recs, err := runStreaming(grid, gossip.SweepCellRange{}, 2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := gossip.WriteSweepRecordJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != buf.String() {
+		t.Error("streamed JSONL differs from the returned records")
+	}
+	if n := strings.Count(string(b), "\n"); n != len(grid.Scenarios()) {
+		t.Errorf("streamed %d lines, want %d", n, len(grid.Scenarios()))
+	}
+
+	// A shard streams its owned cells only.
+	cr, err := gossip.ParseSweepCellRange("1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardPath := filepath.Join(t.TempDir(), "shard.jsonl")
+	srecs, err := runStreaming(grid, cr, 2, shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cr.Indices(len(grid.Scenarios()))); len(srecs) != want {
+		t.Errorf("shard streamed %d records, want %d", len(srecs), want)
+	}
+
+	// Sink open errors surface immediately; nothing runs.
+	if _, err := runStreaming(grid, gossip.SweepCellRange{}, 2, filepath.Join(t.TempDir(), "no", "such", "dir.jsonl")); err == nil {
+		t.Error("unwritable sink path accepted")
 	}
 }

@@ -19,14 +19,10 @@ type gridFlags struct {
 	seed                                      uint64
 }
 
-// sweepMain runs `gossipsim sweep`: it declares a scenario grid from the
-// flags, executes it on the runner engine — checkpointing to a run
-// directory when -out is set, resuming a killed run's completed prefix
-// with -resume — prints the aggregate table, and optionally streams
-// per-cell JSON lines (as each cell completes, in cell order) and CSV.
-func sweepMain(args []string) {
-	fs := flag.NewFlagSet("gossipsim sweep", flag.ExitOnError)
-	var gf gridFlags
+// registerGridFlags declares the shared grid flags on fs: `gossipsim
+// sweep` and `gossipsim dispatch` accept the same grid surface, and the
+// dispatcher re-serializes the raw values for its shard subprocesses.
+func registerGridFlags(fs *flag.FlagSet, gf *gridFlags) {
 	fs.StringVar(&gf.algos, "algos", "pushpull", "comma-separated algorithms ("+strings.Join(gossip.SweepAlgos(), ", ")+")")
 	fs.StringVar(&gf.models, "models", "er", "comma-separated graph models ("+strings.Join(gossip.SweepModels(), ", ")+")")
 	fs.StringVar(&gf.sizes, "sizes", "1024", "graph sizes: comma-separated values and lo..hi doubling ranges (e.g. 1024..65536)")
@@ -38,6 +34,17 @@ func sweepMain(args []string) {
 	fs.IntVar(&gf.sampleK, "k", 0, "tracked messages for the sampled estimator (0 = 64); Θ(n·k) memory reaches n = 10⁶ where exact tracking walls")
 	fs.IntVar(&gf.reps, "reps", 3, "independent repetitions per cell")
 	fs.Uint64Var(&gf.seed, "seed", 1, "master seed (per-cell seeds derive from it and the cell index)")
+}
+
+// sweepMain runs `gossipsim sweep`: it declares a scenario grid from the
+// flags, executes it on the runner engine — checkpointing to a run
+// directory when -out is set, resuming a killed run's completed prefix
+// with -resume — prints the aggregate table, and optionally streams
+// per-cell JSON lines (as each cell completes, in cell order) and CSV.
+func sweepMain(args []string) {
+	fs := flag.NewFlagSet("gossipsim sweep", flag.ExitOnError)
+	var gf gridFlags
+	registerGridFlags(fs, &gf)
 	var (
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 		jsonOut = fs.String("json", "", "stream one JSON line per cell to this file (- for stdout), written as cells complete")
@@ -125,34 +132,28 @@ func sweepMain(args []string) {
 
 // runStreaming executes the grid — or just cr's shard of it — with
 // per-cell JSONL streaming to path ("-" for stdout) and returns the
-// serialized results.
+// serialized results. The sink is openJSONSink's, the same plumbing the
+// checkpointed path uses, so write, flush and close errors surface
+// exactly once through the close function instead of being dropped on
+// the error path.
 func runStreaming(grid gossip.SweepGrid, cr gossip.SweepCellRange, workers int, path string) ([]gossip.SweepRecord, error) {
-	sink := io.Writer(os.Stdout)
-	var f *os.File
-	if path != "-" {
-		var err error
-		if f, err = os.Create(path); err != nil {
-			return nil, err
-		}
-		sink = f
+	sink, closeSink, err := openJSONSink(path)
+	if err != nil {
+		return nil, err
 	}
-	stream := gossip.NewSweepStream(sink)
+	emit := func(r gossip.SweepRecord) error {
+		sink(r)
+		return nil
+	}
+	stream := gossip.NewSweepRecordStream(emit)
 	if !cr.IsAll() {
 		// A shard's owned indices, not 0,1,2,…, are the stream's
 		// expected order.
-		stream = gossip.NewSweepStreamSeq(sink, cr.Indices(len(grid.Scenarios())))
+		stream = gossip.NewSweepRecordStreamSeq(cr.Indices(len(grid.Scenarios())), emit)
 	}
 	results := gossip.RunSweepShardStream(grid, cr, workers, stream.Add)
-	if err := stream.Err(); err != nil {
-		if f != nil {
-			f.Close()
-		}
+	if err := closeSink(); err != nil {
 		return nil, err
-	}
-	if f != nil {
-		if err := f.Close(); err != nil {
-			return nil, fmt.Errorf("close %s: %w", path, err)
-		}
 	}
 	records := make([]gossip.SweepRecord, len(results))
 	for i, r := range results {

@@ -96,6 +96,32 @@
 // — and interleaves them into a full run whose cells.jsonl is
 // byte-identical to an uninterrupted single-process sweep's.
 //
+// # Dispatched sweeps
+//
+// The dispatcher (DispatchSweep; `gossipsim dispatch`) runs that whole
+// shard/monitor/merge workflow from one invocation:
+//
+//	gossipsim dispatch -shards 8 -sizes 1024..1048576 -algos sampled \
+//	    -out run -archive corpus
+//
+// re-execs the binary as -shards × `sweep -shard s/m -out <scratch>/shard-s
+// -resume` subprocesses, at most -procs at a time (default: all). Every
+// launch passes -resume, so a first start and a restart are the same
+// operation: a fresh directory creates a run, a checkpoint continues
+// one, and a directory holding only the torn manifest of a launch that
+// died mid-create is cleared and recreated. Progress renders once per
+// -interval as one line of per-shard "cells done / owned" counters
+// (counted cheaply from each shard's cells.jsonl — one completed cell
+// per terminated line — without parsing), state, and restart counts. A
+// crashed or killed shard is relaunched up to -retries times (default
+// 2), resuming its checkpoint; a shard that exhausts its budget fails
+// the dispatch with exit 1 and that shard's stderr tail, leaving the
+// partial shard runs in the scratch directory (-dir, default
+// <out>.shards) so re-running the same dispatch resumes them. When all
+// shards complete, the dispatcher merges them (MergeRuns) into a full
+// run at -out — byte-identical to a single-process sweep — and with
+// -archive imports it into a corpus under its content-addressed ID.
+//
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.
 package gossip

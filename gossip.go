@@ -6,6 +6,7 @@ import (
 
 	"gossip/internal/core"
 	"gossip/internal/corpus"
+	"gossip/internal/dispatch"
 	"gossip/internal/exp"
 	"gossip/internal/graph"
 	"gossip/internal/runner"
@@ -411,12 +412,70 @@ func WriteSweepRecordJSONL(w io.Writer, recs []SweepRecord) error {
 // JSON lines in strict cell order, as each becomes contiguous.
 func NewSweepStream(w io.Writer) *SweepStream { return runner.NewOrderedJSONL(w, 0) }
 
+// SweepRecordStream re-orders a parallel sweep's completion order back
+// into cell order, handing each record to a consumer callback — the
+// generalization of SweepStream to sinks that are not io.Writers.
+type SweepRecordStream = runner.OrderedCells
+
+// NewSweepRecordStream returns a reorderer over the identity cell
+// order invoking emit once per cell, in cell-index order (wire Add as
+// the RunSweepStream callback).
+func NewSweepRecordStream(emit func(SweepRecord) error) *SweepRecordStream {
+	return runner.NewOrderedCells(0, emit)
+}
+
+// NewSweepRecordStreamSeq is NewSweepRecordStream for a shard: the
+// stream expects exactly the cell indices in seq (ascending — a
+// SweepCellRange's Indices), in that order, and ignores cells outside
+// it.
+func NewSweepRecordStreamSeq(seq []int, emit func(SweepRecord) error) *SweepRecordStream {
+	return runner.NewOrderedCellsSeq(seq, 0, emit)
+}
+
 // NewSweepStreamSeq is NewSweepStream for a shard: the stream expects
 // exactly the cell indices in seq (ascending — a SweepCellRange's
 // Indices), in that order, and ignores cells outside it.
 func NewSweepStreamSeq(w io.Writer, seq []int) *SweepStream {
 	return runner.NewOrderedJSONLSeq(w, seq, 0)
 }
+
+// The shard dispatcher (internal/dispatch): run a grid as m shard
+// subprocesses of one command from a single invocation — launched on a
+// bounded process pool, monitored live by counting completed cells in
+// each shard's cells.jsonl, crashed or killed shards restarted with
+// resume under a retry budget, and the completed shards merged into a
+// full run byte-identical to a single-process sweep. `gossipsim
+// dispatch` is the command-line front end.
+type (
+	// SweepDispatch configures DispatchSweep: the grid, the shard and
+	// process counts, the retry budget, the shard command, and the
+	// scratch/output directories.
+	SweepDispatch = dispatch.Config
+	// SweepShardStatus reports one dispatched shard's progress and
+	// outcome (cells done / owned, restarts, state, stderr tail).
+	SweepShardStatus = dispatch.ShardStatus
+)
+
+// Shard lifecycle states reported by SweepShardStatus.State.
+const (
+	ShardQueued  = dispatch.StateQueued
+	ShardRunning = dispatch.StateRunning
+	ShardDone    = dispatch.StateDone
+	ShardFailed  = dispatch.StateFailed
+)
+
+// DispatchSweep launches, monitors, retries and merges the configured
+// sweep's shard subprocesses. It returns the merged run and the final
+// per-shard statuses; on error (a shard out of retries, an invalid
+// merge) the statuses are still returned for reporting.
+func DispatchSweep(cfg SweepDispatch) (*CorpusRun, []SweepShardStatus, error) {
+	return dispatch.Run(cfg)
+}
+
+// SweepCellsDone cheaply counts the completed cells checkpointed in a
+// run directory — the dispatcher's live progress probe, usable against
+// a shard another process is still writing.
+func SweepCellsDone(dir string) (int, error) { return corpus.CellsDone(dir) }
 
 // RunSweepStream is RunSweep with an on-completion callback: onCell is
 // invoked serially for each cell as it finishes (in completion order —

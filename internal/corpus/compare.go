@@ -21,9 +21,19 @@ type Tolerance struct {
 }
 
 // Within reports whether candidate b is within tolerance of reference a.
+// Non-finite means compare bitwise: a NaN or infinite reference is
+// within tolerance of exactly itself and of nothing else. The
+// arithmetic rule alone would reject even NaN against the same NaN
+// (every comparison with NaN is false), failing a zero-tolerance gate
+// on two bit-identical runs whose metric mean is NaN.
 func (t Tolerance) Within(a, b float64) bool {
+	if isNonFinite(a) || isNonFinite(b) {
+		return math.Float64bits(a) == math.Float64bits(b)
+	}
 	return math.Abs(b-a) <= t.Abs+t.Rel*math.Abs(a)
 }
+
+func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // Verdict strings of a metric or cell comparison.
 const (

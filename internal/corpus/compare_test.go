@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -40,6 +41,18 @@ func TestToleranceWithin(t *testing.T) {
 		// Abs and Rel add.
 		{Tolerance{Abs: 1, Rel: 0.1}, 100, 111, true},
 		{Tolerance{Abs: 1, Rel: 0.1}, 100, 111.1, false},
+		// Non-finite means compare bitwise: two bit-identical NaN (or
+		// infinite) means are within even a zero tolerance — the
+		// arithmetic rule would reject NaN against itself and fail
+		// replays of the same deterministic run — while a non-finite
+		// mean on one side only is never within any tolerance.
+		{Tolerance{}, math.NaN(), math.NaN(), true},
+		{Tolerance{Abs: 100, Rel: 1}, math.NaN(), 5, false},
+		{Tolerance{Abs: 100, Rel: 1}, 5, math.NaN(), false},
+		{Tolerance{}, math.Inf(1), math.Inf(1), true},
+		{Tolerance{}, math.Inf(-1), math.Inf(-1), true},
+		{Tolerance{Abs: 100, Rel: 1}, math.Inf(1), math.Inf(-1), false},
+		{Tolerance{Abs: 100, Rel: 1}, math.Inf(1), 5, false},
 	} {
 		if got := tc.tol.Within(tc.a, tc.b); got != tc.want {
 			t.Errorf("Tolerance%+v.Within(%g, %g) = %v, want %v", tc.tol, tc.a, tc.b, got, tc.want)
@@ -87,6 +100,24 @@ func TestCompareDetectsDrift(t *testing.T) {
 	down := []runner.CellRecord{rec(0, "pushpull", 64, 12), rec(1, "pushpull", 128, 13)}
 	if c := Compare(ref, down, Tolerance{Abs: 0.5}); !c.Regressed() {
 		t.Error("downward drift not flagged")
+	}
+}
+
+// TestCompareNaNMetricMeans: the regression-gate consequence of the
+// bitwise rule — two identical record sets whose metric mean is NaN
+// pass a zero-tolerance gate, while NaN against a finite mean still
+// fails at any tolerance.
+func TestCompareNaNMetricMeans(t *testing.T) {
+	ref := []runner.CellRecord{rec(0, "memory", 64, math.NaN())}
+	if c := Compare(ref, ref, Tolerance{}); c.Regressed() {
+		t.Errorf("bit-identical NaN runs regressed: %s", c.Summary())
+	}
+	cand := []runner.CellRecord{rec(0, "memory", 64, 12)}
+	if c := Compare(ref, cand, Tolerance{Abs: 1e9, Rel: 1}); !c.Regressed() {
+		t.Error("NaN reference vs finite candidate compared clean")
+	}
+	if c := Compare(cand, ref, Tolerance{Abs: 1e9, Rel: 1}); !c.Regressed() {
+		t.Error("finite reference vs NaN candidate compared clean")
 	}
 }
 

@@ -30,6 +30,7 @@ package corpus
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -268,6 +269,40 @@ func scanCells(path string, want []int) ([]runner.CellRecord, int64, error) {
 		}
 		recs = append(recs, rec)
 		off += int64(len(line))
+	}
+}
+
+// CellsDone cheaply counts the completed cells of a run directory: the
+// newline-terminated lines of its cells.jsonl, counted as raw bytes
+// with no JSON parsing — the probe a dispatcher polls once per progress
+// tick against every live shard, where a full scanCells pass would
+// re-parse the whole file each time. Ordered streaming writes one cell
+// per terminated line, and a torn trailing write is unterminated, so
+// the count equals the completed-cell prefix length except in the
+// corruption cases scanCells exists to reject. A missing file is zero
+// cells, not an error.
+func CellsDone(dir string) (int, error) {
+	f, err := os.Open(filepath.Join(dir, CellsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("corpus: probe cells: %w", err)
+	}
+	defer f.Close()
+	var (
+		buf  = make([]byte, 64*1024)
+		done int
+	)
+	for {
+		n, err := f.Read(buf)
+		done += bytes.Count(buf[:n], []byte{'\n'})
+		if err == io.EOF {
+			return done, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("corpus: probe cells %s: %w", dir, err)
+		}
 	}
 }
 

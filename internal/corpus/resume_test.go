@@ -181,6 +181,78 @@ func TestExecuteRunTeeStreamsInOrder(t *testing.T) {
 	}
 }
 
+// TestResumeRecoversTornCreate: a process killed before CreateRun
+// durably wrote its manifest leaves a directory holding a torn (or
+// empty) manifest.json; a blind retry with resume must clear the
+// wreckage and recreate the run instead of failing the whole dispatch
+// — and the recreated run is byte-identical to an uninterrupted one.
+func TestResumeRecoversTornCreate(t *testing.T) {
+	g := testGrid(29)
+	refDir := filepath.Join(t.TempDir(), "ref")
+	if _, _, err := ExecuteRun(refDir, g, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(filepath.Join(refDir, CellsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, files := range map[string]map[string][]byte{
+		"torn manifest":            {ManifestName: []byte(`{"id": "tor`)},
+		"empty manifest":           {ManifestName: nil},
+		"torn manifest with cells": {ManifestName: []byte(`{"id`), CellsName: ref[:len(ref)/3]},
+	} {
+		dir := filepath.Join(t.TempDir(), "run")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for f, b := range files {
+			if err := os.WriteFile(filepath.Join(dir, f), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run, recs, err := ExecuteRun(dir, g, 2, true, nil)
+		if err != nil {
+			t.Fatalf("%s: resume did not recover: %v", name, err)
+		}
+		if len(recs) != run.Manifest.Cells {
+			t.Fatalf("%s: recovered run has %d of %d cells", name, len(recs), run.Manifest.Cells)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, CellsName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("%s: recovered cells.jsonl differs from uninterrupted run", name)
+		}
+	}
+
+	// Without resume, a torn manifest still refuses CreateRun — only the
+	// retry path may clear it.
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"id`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExecuteRun(dir, g, 2, false, nil); err == nil {
+		t.Error("ExecuteRun without resume claimed a directory holding a torn manifest")
+	}
+
+	// A manifest that parses but names a different configuration is NOT
+	// wreckage: it keeps failing loudly instead of being destroyed.
+	otherDir := filepath.Join(t.TempDir(), "other")
+	if _, _, err := ExecuteRun(otherDir, testGrid(30), 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExecuteRun(otherDir, g, 2, true, nil); err == nil {
+		t.Error("resume over a different configuration's run accepted")
+	}
+	if _, err := os.Stat(filepath.Join(otherDir, ManifestName)); err != nil {
+		t.Error("different configuration's manifest was destroyed by recovery")
+	}
+}
+
 func TestResumeRejectsDifferentConfiguration(t *testing.T) {
 	g := testGrid(23)
 	dir := filepath.Join(t.TempDir(), "run")

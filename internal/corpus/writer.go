@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -112,6 +113,35 @@ func ResumeRunShard(dir string, g runner.Grid, cr runner.CellRange) (*Writer, er
 		return nil, fmt.Errorf("corpus: seek cells: %w", err)
 	}
 	return newWriter(r, f, recs), nil
+}
+
+// recoverTornCreate reports whether dir holds the wreckage of a run
+// creation that died before its manifest was durably written — a
+// manifest file that exists but does not parse as JSON — and, when so,
+// removes the run files so CreateRun can claim the directory afresh. A
+// dispatcher retrying a crashed shard cannot tell "died mid-CreateRun"
+// from "died mid-sweep", so the resume path must absorb both. A
+// manifest that parses is never touched: a mismatched configuration
+// keeps failing loudly through ResumeRunShard instead of being
+// silently destroyed.
+func recoverTornCreate(dir string) (cleared bool, err error) {
+	b, rerr := os.ReadFile(filepath.Join(dir, ManifestName))
+	if rerr != nil {
+		if errors.Is(rerr, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("corpus: probe manifest %s: %w", dir, rerr)
+	}
+	var m Manifest
+	if json.Unmarshal(b, &m) == nil {
+		return false, nil
+	}
+	for _, name := range []string{ManifestName, CellsName} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("corpus: clear torn run %s: %w", dir, err)
+		}
+	}
+	return true, nil
 }
 
 // verifyScenarios checks that stored records name exactly the cells
@@ -231,7 +261,15 @@ func ExecuteRunShard(dir string, g runner.Grid, cr runner.CellRange, workers int
 	)
 	if resume {
 		if _, serr := os.Stat(filepath.Join(dir, ManifestName)); serr == nil {
-			w, err = ResumeRunShard(dir, g, cr)
+			cleared, cerr := recoverTornCreate(dir)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			if cleared {
+				resume = false
+			} else {
+				w, err = ResumeRunShard(dir, g, cr)
+			}
 		} else if !errors.Is(serr, os.ErrNotExist) {
 			// A probe failure (permission, a file where the directory
 			// should be, …) is not "no checkpoint here": falling through

@@ -1,0 +1,367 @@
+// Package dispatch turns a sharded sweep from an operator workflow
+// into one command: given a grid and a shard count, it launches the
+// shards as subprocesses of one re-execed command, bounds their
+// concurrency, monitors each shard's live progress by cheaply counting
+// the completed cells in its cells.jsonl, restarts crashed or killed
+// shards with -resume under a retry budget, and on completion merges
+// the shard runs into a full run byte-identical to a single-process
+// sweep.
+//
+// The dispatcher deliberately owns no sweep logic. A shard subprocess
+// is `<command> -shard s/m -out <dir> -resume`, so everything the
+// checkpoint format already guarantees — torn-tail truncation,
+// completed-prefix skipping, grid-hash verification, torn-manifest
+// recovery — is what makes restarts safe: a first launch and a retry
+// are the same operation. Failure is loud: a shard that exhausts its
+// retries fails the whole dispatch with that shard's stderr tail, and
+// the merge at the end revalidates every record, so the dispatcher can
+// never silently ship a short or mixed run.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"gossip/internal/corpus"
+	"gossip/internal/runner"
+)
+
+// Shard lifecycle states, in the order a healthy shard passes through
+// them. A retried shard moves back from "running" to "queued" while it
+// waits for a process slot.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// DefaultStderrTail bounds how much of a shard's stderr the dispatcher
+// keeps for failure reporting when Config leaves it unset.
+const DefaultStderrTail = 4096
+
+// Config declares one dispatched sweep.
+type Config struct {
+	// Grid is the full sweep configuration. The dispatcher uses it only
+	// to size the shards (owned-cell counts for progress and the final
+	// completeness check); the shard subprocesses re-derive everything
+	// else from Command's own flags, and the merge verifies the two
+	// views agree via the content-addressed run ID.
+	Grid runner.Grid
+	// Shards is the number of shard subprocesses — the m of "s/m".
+	Shards int
+	// Procs bounds how many shard processes run at once (0 or anything
+	// above Shards means all of them).
+	Procs int
+	// Retries is how many times one crashed shard is relaunched before
+	// the dispatch fails (0 = a single attempt per shard).
+	Retries int
+	// ScratchDir holds the shard run directories shard-0 … shard-(m-1).
+	ScratchDir string
+	// Out is the merged full run's destination directory.
+	Out string
+	// Command is the argv prefix launching one shard — typically
+	// {exe, "sweep", <grid flags>, "-q"}. The dispatcher appends
+	// "-shard s/m -out <dir> -resume" per launch; always resuming is
+	// what makes first launches and restarts the same operation (a
+	// fresh directory creates, a checkpoint continues).
+	Command []string
+	// Interval is the progress render and probe period (0 = 1s).
+	Interval time.Duration
+	// RetryDelay is the pause before relaunching a failed shard
+	// (0 = 1s), so a transient condition — memory pressure, a briefly
+	// full scratch disk — cannot burn the whole retry budget in
+	// milliseconds.
+	RetryDelay time.Duration
+	// Progress, when non-nil, receives one per-shard progress line per
+	// interval tick and a final one when the last shard settles.
+	Progress io.Writer
+	// OnShardStart, when non-nil, observes every shard launch with its
+	// process ID — the hook the kill-injection tests use to murder a
+	// shard mid-flight.
+	OnShardStart func(shard, attempt, pid int)
+	// StderrTail bounds the kept stderr bytes per shard attempt
+	// (0 = DefaultStderrTail).
+	StderrTail int
+}
+
+// ShardStatus reports one shard's progress and outcome.
+type ShardStatus struct {
+	// Shard is the shard index s of "s/m"; Dir its run directory.
+	Shard int
+	Dir   string
+	// Owned is how many grid cells the shard owns; Done how many are
+	// complete on disk (refreshed from the cells-done probe on every
+	// progress tick and when the shard exits).
+	Owned int
+	Done  int
+	// Restarts counts crash recoveries.
+	Restarts int
+	// State is one of the State* constants.
+	State string
+	// StderrTail holds the last stderr bytes of the most recent failed
+	// attempt (empty while the shard behaves).
+	StderrTail string
+}
+
+// dispatcher is one Run invocation's shared state.
+type dispatcher struct {
+	cfg Config
+	mu  sync.Mutex
+	st  []ShardStatus
+	sem chan struct{}
+}
+
+// Run dispatches the configured sweep: every shard launched (at most
+// Procs at a time), monitored, and retried to completion, then merged
+// into a full run at Out. It returns the merged run and the final
+// per-shard statuses; on error the statuses are still returned so the
+// caller can report which shard failed and why.
+func Run(cfg Config) (*corpus.Run, []ShardStatus, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, nil, err
+	}
+	cells := len(cfg.Grid.Scenarios())
+	d := &dispatcher{cfg: cfg, sem: make(chan struct{}, cfg.Procs)}
+	d.st = make([]ShardStatus, cfg.Shards)
+	for s := range d.st {
+		d.st[s] = ShardStatus{
+			Shard: s,
+			Dir:   filepath.Join(cfg.ScratchDir, fmt.Sprintf("shard-%d", s)),
+			Owned: len(runner.ShardOf(s, cfg.Shards).Indices(cells)),
+			State: StateQueued,
+		}
+	}
+	if err := os.MkdirAll(cfg.ScratchDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("dispatch: create scratch dir: %w", err)
+	}
+
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = d.runShard(s)
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+monitor:
+	for {
+		select {
+		case <-done:
+			break monitor
+		case <-tick.C:
+			d.probe()
+			d.render()
+		}
+	}
+	d.probe()
+	d.render()
+
+	statuses := d.snapshot()
+	for _, err := range errs {
+		if err != nil {
+			return nil, statuses, err
+		}
+	}
+	// A grid dealt across more shards than it has cells leaves the
+	// excess shards empty: nothing ran, no directory exists, and the
+	// owning shards already cover every cell.
+	var shardDirs []string
+	for _, st := range statuses {
+		if st.Owned > 0 {
+			shardDirs = append(shardDirs, st.Dir)
+		}
+	}
+	merged, err := corpus.MergeRunDirs(cfg.Out, shardDirs)
+	if err != nil {
+		return nil, statuses, err
+	}
+	return merged, statuses, nil
+}
+
+// validate rejects unusable configurations and applies defaults in
+// place.
+func validate(cfg *Config) error {
+	if cfg.Shards < 1 {
+		return fmt.Errorf("dispatch: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if len(cfg.Command) == 0 {
+		return errors.New("dispatch: no shard command")
+	}
+	if cfg.ScratchDir == "" || cfg.Out == "" {
+		return errors.New("dispatch: scratch and output directories are required")
+	}
+	if cfg.Retries < 0 {
+		return fmt.Errorf("dispatch: negative retry budget %d", cfg.Retries)
+	}
+	if err := cfg.Grid.Validate(); err != nil {
+		return err
+	}
+	if cfg.Procs <= 0 || cfg.Procs > cfg.Shards {
+		cfg.Procs = cfg.Shards
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = time.Second
+	}
+	if cfg.StderrTail <= 0 {
+		cfg.StderrTail = DefaultStderrTail
+	}
+	return nil
+}
+
+// runShard drives one shard to completion: launch, wait, and on any
+// failure relaunch with -resume until the retry budget runs dry.
+func (d *dispatcher) runShard(s int) error {
+	d.mu.Lock()
+	dir, owned := d.st[s].Dir, d.st[s].Owned
+	d.mu.Unlock()
+	if owned == 0 {
+		d.setState(s, StateDone)
+		return nil
+	}
+	spec := fmt.Sprintf("%d/%d", s, d.cfg.Shards)
+	for attempt := 0; ; attempt++ {
+		d.sem <- struct{}{}
+		tail := &tailBuffer{max: d.cfg.StderrTail}
+		args := append(append([]string(nil), d.cfg.Command[1:]...),
+			"-shard", spec, "-out", dir, "-resume")
+		cmd := exec.Command(d.cfg.Command[0], args...)
+		cmd.Stdout = io.Discard
+		cmd.Stderr = tail
+		err := cmd.Start()
+		if err == nil {
+			d.setState(s, StateRunning)
+			if d.cfg.OnShardStart != nil {
+				d.cfg.OnShardStart(s, attempt, cmd.Process.Pid)
+			}
+			err = cmd.Wait()
+		}
+		<-d.sem
+		if err == nil {
+			// Exit 0 must mean every owned cell is on disk. A clean exit
+			// over a short file (a wrapper script swallowing the real
+			// status, a disk-full the child missed) retries like a crash;
+			// the merge would reject it anyway, but retrying here can
+			// still save the dispatch.
+			n, derr := corpus.CellsDone(dir)
+			switch {
+			case derr != nil:
+				err = derr
+			case n < owned:
+				err = fmt.Errorf("shard %s exited 0 with %d of %d cells on disk", spec, n, owned)
+			default:
+				d.mu.Lock()
+				d.st[s].State = StateDone
+				d.st[s].Done = owned
+				d.mu.Unlock()
+				return nil
+			}
+		}
+		d.mu.Lock()
+		d.st[s].StderrTail = tail.String()
+		if attempt >= d.cfg.Retries {
+			d.st[s].State = StateFailed
+			d.mu.Unlock()
+			msg := fmt.Sprintf("dispatch: shard %s failed after %d attempt(s): %v", spec, attempt+1, err)
+			if t := strings.TrimSpace(tail.String()); t != "" {
+				msg += "\nshard " + spec + " stderr tail:\n" + t
+			}
+			return errors.New(msg)
+		}
+		d.st[s].Restarts++
+		d.st[s].State = StateQueued
+		d.mu.Unlock()
+		time.Sleep(d.cfg.RetryDelay)
+	}
+}
+
+// probe refreshes every running shard's done-cell count from disk.
+func (d *dispatcher) probe() {
+	for s := range d.st {
+		d.mu.Lock()
+		dir, state := d.st[s].Dir, d.st[s].State
+		d.mu.Unlock()
+		if state != StateRunning {
+			continue
+		}
+		n, err := corpus.CellsDone(dir)
+		if err != nil {
+			continue // a transient probe failure only stales the display
+		}
+		d.mu.Lock()
+		if d.st[s].State == StateRunning {
+			d.st[s].Done = n
+		}
+		d.mu.Unlock()
+	}
+}
+
+// render writes one progress line covering every shard.
+func (d *dispatcher) render() {
+	if d.cfg.Progress == nil {
+		return
+	}
+	d.mu.Lock()
+	parts := make([]string, len(d.st))
+	for i, st := range d.st {
+		p := fmt.Sprintf("shard %d %d/%d %s", st.Shard, st.Done, st.Owned, st.State)
+		if st.Restarts > 0 {
+			p += fmt.Sprintf(" restarts=%d", st.Restarts)
+		}
+		parts[i] = p
+	}
+	d.mu.Unlock()
+	fmt.Fprintf(d.cfg.Progress, "dispatch: %s\n", strings.Join(parts, " · "))
+}
+
+func (d *dispatcher) setState(s int, state string) {
+	d.mu.Lock()
+	d.st[s].State = state
+	d.mu.Unlock()
+}
+
+// snapshot copies the statuses out from under the mutex.
+func (d *dispatcher) snapshot() []ShardStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]ShardStatus(nil), d.st...)
+}
+
+// tailBuffer is an io.Writer keeping only the last max bytes written —
+// the shard stderr retention policy.
+type tailBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = append(t.buf[:0:0], t.buf[len(t.buf)-t.max:]...)
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}

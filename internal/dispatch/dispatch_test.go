@@ -1,0 +1,328 @@
+package dispatch
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gossip/internal/corpus"
+	"gossip/internal/runner"
+)
+
+// The dispatcher's subprocesses are this test binary re-execed in fake
+// shard mode: TestMain diverts to fakeShardMain when the mode variable
+// is set, so every dispatch test drives real process launches, real
+// exits and real checkpoint files without depending on cmd/gossipsim.
+const fakeShardEnv = "DISPATCH_FAKE_SHARD_MODE"
+
+func TestMain(m *testing.M) {
+	if mode := os.Getenv(fakeShardEnv); mode != "" {
+		fakeShardMain(mode)
+	}
+	os.Exit(m.Run())
+}
+
+// fakeGrid is the configuration every fake shard sweeps — small enough
+// to finish instantly, shaped like the real corpus test grid.
+func fakeGrid() runner.Grid {
+	return runner.Grid{
+		Algos:     []string{"pushpull", "sampled"},
+		Models:    []string{"er"},
+		Sizes:     []int{64, 128},
+		Densities: []float64{1, 2},
+		Reps:      2,
+		Seed:      77,
+	}
+}
+
+// fakeShardMain emulates `gossipsim sweep -shard s/m -out dir -resume`
+// over fakeGrid, with failure modes the mode string selects:
+//
+//	run        behave: execute the shard to completion
+//	fail       exit 3 with a synthetic stderr message, every attempt
+//	torn-once  first attempt: die "mid-CreateRun", leaving a torn
+//	           manifest.json; later attempts behave
+//	half-once  first attempt: complete, then truncate cells.jsonl to
+//	           half its bytes and exit 137 — the on-disk state a
+//	           SIGKILL mid-sweep leaves; later attempts behave
+func fakeShardMain(mode string) {
+	fs := flag.NewFlagSet("fake-shard", flag.ExitOnError)
+	spec := fs.String("shard", "", "")
+	out := fs.String("out", "", "")
+	_ = fs.Bool("resume", false, "")
+	fs.Parse(os.Args[1:])
+	cr, err := runner.ParseCellRange(*spec)
+	if err != nil || *out == "" {
+		fmt.Fprintln(os.Stderr, "fake shard: bad args:", os.Args[1:])
+		os.Exit(2)
+	}
+	switch mode {
+	case "fail":
+		fmt.Fprintln(os.Stderr, "synthetic shard failure")
+		os.Exit(3)
+	case "torn-once":
+		if firstAttempt(*out) {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := os.WriteFile(filepath.Join(*out, corpus.ManifestName), []byte(`{"id": "tor`), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "dying mid-create")
+			os.Exit(7)
+		}
+	case "half-once":
+		if firstAttempt(*out) {
+			if _, _, err := corpus.ExecuteRunShard(*out, fakeGrid(), cr, 2, true, nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			path := filepath.Join(*out, corpus.CellsName)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := os.Truncate(path, int64(len(b)/2)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "killed mid-sweep")
+			os.Exit(137)
+		}
+	}
+	if _, _, err := corpus.ExecuteRunShard(*out, fakeGrid(), cr, 2, true, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// firstAttempt reports (and records, via a marker file next to the run
+// directory) whether this is the first launch against out.
+func firstAttempt(out string) bool {
+	marker := out + ".attempted"
+	if _, err := os.Stat(marker); err == nil {
+		return false
+	}
+	os.WriteFile(marker, nil, 0o644)
+	return true
+}
+
+// testConfig assembles a dispatch of the fake shard command; mode is
+// installed into the test's environment so the re-execed children see
+// it.
+func testConfig(t *testing.T, mode string, shards int) Config {
+	t.Helper()
+	t.Setenv(fakeShardEnv, mode)
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	return Config{
+		Grid:       fakeGrid(),
+		Shards:     shards,
+		Retries:    2,
+		ScratchDir: filepath.Join(root, "shards"),
+		Out:        filepath.Join(root, "merged"),
+		Command:    []string{exe},
+		Interval:   10 * time.Millisecond,
+		RetryDelay: time.Millisecond,
+	}
+}
+
+// referenceCells runs fakeGrid in one process and returns its
+// cells.jsonl bytes — the byte-identity oracle.
+func referenceCells(t *testing.T) []byte {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ref")
+	if _, _, err := corpus.ExecuteRun(dir, fakeGrid(), 4, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, corpus.CellsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkMerged asserts the dispatched-and-merged run is byte-identical
+// to the single-process sweep.
+func checkMerged(t *testing.T, cfg Config, run *corpus.Run) {
+	t.Helper()
+	if run == nil {
+		t.Fatal("no merged run returned")
+	}
+	got, err := os.ReadFile(filepath.Join(cfg.Out, corpus.CellsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, referenceCells(t)) {
+		t.Error("dispatched cells.jsonl differs from single-process sweep")
+	}
+	if done, err := run.Complete(); err != nil || !done {
+		t.Errorf("merged run incomplete: done=%v err=%v", done, err)
+	}
+}
+
+// TestDispatchMergesByteIdentical: the happy path — three healthy
+// shards launch, run, and merge into the single-process bytes, with
+// progress lines rendered along the way.
+func TestDispatchMergesByteIdentical(t *testing.T) {
+	cfg := testConfig(t, "run", 3)
+	var progress strings.Builder
+	cfg.Progress = &progress
+	run, statuses, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	checkMerged(t, cfg, run)
+	for _, st := range statuses {
+		if st.State != StateDone || st.Done != st.Owned || st.Restarts != 0 {
+			t.Errorf("shard %d status %+v, want done %d/%d with 0 restarts", st.Shard, st, st.Owned, st.Owned)
+		}
+	}
+	if out := progress.String(); !strings.Contains(out, "dispatch: shard 0") || !strings.Contains(out, "done") {
+		t.Errorf("progress output missing per-shard line:\n%s", out)
+	}
+}
+
+// TestDispatchRestartsTornCreate: a shard that dies before its
+// CreateRun durably wrote the manifest is restarted, the wreckage is
+// cleared, and the dispatch still produces the single-process bytes.
+func TestDispatchRestartsTornCreate(t *testing.T) {
+	cfg := testConfig(t, "torn-once", 2)
+	run, statuses, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	checkMerged(t, cfg, run)
+	for _, st := range statuses {
+		if st.Restarts != 1 || st.State != StateDone {
+			t.Errorf("shard %d: restarts=%d state=%s, want 1 restart then done", st.Shard, st.Restarts, st.State)
+		}
+	}
+}
+
+// TestDispatchResumesKilledShard: a shard killed mid-sweep (its
+// cells.jsonl cut mid-line) is restarted with -resume and the merged
+// run is still byte-identical — the dispatcher inherits the checkpoint
+// format's kill-safety wholesale.
+func TestDispatchResumesKilledShard(t *testing.T) {
+	cfg := testConfig(t, "half-once", 2)
+	run, statuses, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	checkMerged(t, cfg, run)
+	for _, st := range statuses {
+		if st.Restarts != 1 {
+			t.Errorf("shard %d: restarts=%d, want 1", st.Shard, st.Restarts)
+		}
+	}
+}
+
+// TestDispatchRetryBudgetExhausted: a shard that fails every attempt
+// fails the dispatch, reporting the attempt count and the shard's
+// stderr tail.
+func TestDispatchRetryBudgetExhausted(t *testing.T) {
+	cfg := testConfig(t, "fail", 2)
+	cfg.Retries = 1
+	_, statuses, err := Run(cfg)
+	if err == nil {
+		t.Fatal("dispatch of always-failing shards succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after 2 attempt(s)") {
+		t.Errorf("error missing attempt count: %v", err)
+	}
+	if !strings.Contains(err.Error(), "synthetic shard failure") {
+		t.Errorf("error missing shard stderr tail: %v", err)
+	}
+	failed := 0
+	for _, st := range statuses {
+		if st.State == StateFailed {
+			failed++
+			if !strings.Contains(st.StderrTail, "synthetic shard failure") {
+				t.Errorf("shard %d stderr tail not captured: %q", st.Shard, st.StderrTail)
+			}
+			if st.Restarts != 1 {
+				t.Errorf("shard %d restarts=%d, want 1", st.Shard, st.Restarts)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Error("no shard reported failed")
+	}
+}
+
+// TestDispatchMoreShardsThanCells: shards that own no cells are
+// skipped, not launched, and the owning shards still cover the grid.
+func TestDispatchMoreShardsThanCells(t *testing.T) {
+	cells := len(fakeGrid().Scenarios())
+	cfg := testConfig(t, "run", cells+3)
+	run, statuses, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	checkMerged(t, cfg, run)
+	for _, st := range statuses[cells:] {
+		if st.Owned != 0 || st.State != StateDone {
+			t.Errorf("empty shard %d: %+v, want done with 0 owned", st.Shard, st)
+		}
+	}
+}
+
+// TestDispatchBoundedProcs: Procs=1 serializes the shards but changes
+// nothing about the result.
+func TestDispatchBoundedProcs(t *testing.T) {
+	cfg := testConfig(t, "run", 3)
+	cfg.Procs = 1
+	run, _, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	checkMerged(t, cfg, run)
+}
+
+// TestDispatchConfigValidation: unusable configurations are rejected
+// before any process launches.
+func TestDispatchConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Grid: fakeGrid(), Shards: 2,
+			ScratchDir: "s", Out: "o", Command: []string{"x"},
+		}
+	}
+	for name, breakIt := range map[string]func(*Config){
+		"no shards":    func(c *Config) { c.Shards = 0 },
+		"no command":   func(c *Config) { c.Command = nil },
+		"no scratch":   func(c *Config) { c.ScratchDir = "" },
+		"no out":       func(c *Config) { c.Out = "" },
+		"neg retries":  func(c *Config) { c.Retries = -1 },
+		"invalid grid": func(c *Config) { c.Grid.Algos = []string{"nope"} },
+	} {
+		cfg := base()
+		breakIt(&cfg)
+		if _, _, err := Run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestTailBuffer: only the last max bytes survive.
+func TestTailBuffer(t *testing.T) {
+	tb := &tailBuffer{max: 8}
+	tb.Write([]byte("0123456789"))
+	tb.Write([]byte("abcd"))
+	if got := tb.String(); got != "6789abcd" {
+		t.Errorf("tail = %q, want %q", got, "6789abcd")
+	}
+}

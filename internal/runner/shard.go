@@ -28,6 +28,11 @@ type CellRange struct {
 	Hi int `json:"hi,omitempty"`
 }
 
+// ShardOf returns the modular selector "s/m" — the per-shard range a
+// dispatcher deals its subprocesses. m == 1 selects every cell (the
+// degenerate single-shard dispatch).
+func ShardOf(s, m int) CellRange { return CellRange{Shard: s, Of: m} }
+
 // ParseCellRange parses a shard selector: "s/m" (modular shard s of m)
 // or "lo..hi" (the half-open cell index range [lo, hi)). An empty
 // string selects every cell.

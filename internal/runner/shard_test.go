@@ -209,3 +209,21 @@ func TestFailureSpecResolveRounding(t *testing.T) {
 		t.Errorf("Count resolve = %d", got)
 	}
 }
+
+// TestShardOf: the constructor matches the parsed form of "s/m".
+func TestShardOf(t *testing.T) {
+	got := ShardOf(1, 3)
+	want, err := ParseCellRange("1/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ShardOf(1, 3) = %+v, want %+v", got, want)
+	}
+	if !ShardOf(0, 1).IsAll() {
+		t.Error("ShardOf(0, 1) does not select every cell")
+	}
+	if err := ShardOf(3, 3).Validate(); err == nil {
+		t.Error("ShardOf(3, 3) validated")
+	}
+}
