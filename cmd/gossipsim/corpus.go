@@ -11,10 +11,11 @@ import (
 
 // archiveMain runs `gossipsim archive`: it lists a corpus's stored runs
 // (optionally filtered by grid coordinates) and imports run directories
-// into it, deduping on content-addressed IDs.
+// into it as new generations of their content-addressed run IDs.
 //
 //	gossipsim archive -dir corpus                  # list stored runs
 //	gossipsim archive -dir corpus -add run1 -add run2
+//	gossipsim archive -dir corpus -add run -rev abc123
 //	gossipsim archive -dir corpus -algo sampled -n 1048576
 func archiveMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim archive", flag.ContinueOnError)
@@ -22,6 +23,7 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 	var adds stringList
 	dir := fs.String("dir", "corpus", "corpus directory (created if missing)")
 	fs.Var(&adds, "add", "import this run directory into the corpus (repeatable)")
+	rev := fs.String("rev", "", "code revision to stamp on imported generations (default: the run's recorded revision, or this binary's)")
 	algo := fs.String("algo", "", "list only runs containing this algorithm")
 	model := fs.String("model", "", "list only runs containing this graph model")
 	n := fs.Int("n", 0, "list only runs containing this graph size")
@@ -41,43 +43,91 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		stored, added, err := store.Import(run)
+		effRev := *rev
+		if effRev == "" && run.Manifest.Revision == "" {
+			effRev = gossip.BuildRevision()
+		}
+		a, err := store.Import(run, effRev)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if added {
-			fmt.Fprintf(stdout, "imported %s as %s\n", src, stored.Manifest.ID)
-		} else {
-			fmt.Fprintf(stdout, "already stored: %s (%s)\n", stored.Manifest.ID, src)
+		// The append-or-dedupe decision is never silent: both the
+		// stored generation's provenance and the incoming run's are
+		// reported either way.
+		switch {
+		case a.Added && a.Prev != nil:
+			fmt.Fprintf(stdout, "imported %s as %s (%s); previous generation %s (%s)\n",
+				src, a.Run.Label(), provenance(a.Run.Manifest), a.Prev.Gen, provenance(a.Prev.Manifest))
+		case a.Added:
+			fmt.Fprintf(stdout, "imported %s as %s (%s); first generation\n",
+				src, a.Run.Label(), provenance(a.Run.Manifest))
+		default:
+			fmt.Fprintf(stdout, "deduped %s: bit-identical to %s (%s); incoming (%s) not stored\n",
+				src, a.Run.Label(), provenance(a.Run.Manifest), provenance(a.Incoming))
 		}
 	}
 
-	runs, err := store.Select(gossip.CorpusFilter{Algo: *algo, Model: *model, N: *n, Density: *density})
+	// One store scan serves the whole listing: Runs yields the latest
+	// generations and the damaged entries together, and the filter
+	// applies in-process.
+	all, damaged, err := store.Runs()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if len(runs) == 0 {
+	f := gossip.CorpusFilter{Algo: *algo, Model: *model, N: *n, Density: *density}
+	var runs []*gossip.CorpusRun
+	for _, r := range all {
+		if f.MatchRun(r.Manifest) {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) == 0 && len(damaged) == 0 {
 		fmt.Fprintf(stdout, "corpus %s: no matching runs\n", *dir)
 		return 0
 	}
 	fmt.Fprintf(stdout, "corpus %s: %d run(s)\n", *dir, len(runs))
 	for _, r := range runs {
 		m := r.Manifest
-		// One scan serves both the completeness check and the count.
-		recs, err := r.Records()
+		// Completeness from the cheap line count — listing a corpus of
+		// large runs must not JSON-parse every cell of every run.
+		done, err := gossip.SweepCellsDone(r.Dir)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		state := "complete"
-		if len(recs) != m.Cells {
-			state = fmt.Sprintf("%d/%d cells", len(recs), m.Cells)
+		if done != m.ExpectedCells() {
+			state = fmt.Sprintf("%d/%d cells", done, m.ExpectedCells())
 		}
-		fmt.Fprintf(stdout, "  %s  %-14s seed=%-6d %s\n", m.ID, state, m.Grid.Seed, gridSummary(m))
+		gens, _, err := store.Generations(m.ID)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "  %s  %-14s gens=%-3d seed=%-6d %s\n", m.ID, state, len(gens), m.Grid.Seed, gridSummary(m))
+	}
+	// Damaged entries are listed, not fatal: one torn run must not hide
+	// the rest of the corpus (prune -damaged removes them).
+	for _, d := range damaged {
+		fmt.Fprintf(stdout, "  %s  UNREADABLE: %v\n", d.Dir, d.Err)
 	}
 	return 0
+}
+
+// provenance renders a manifest's generation provenance for decisions
+// and listings.
+func provenance(m gossip.CorpusManifest) string {
+	rev := m.Revision
+	if rev == "" {
+		rev = "unversioned"
+	}
+	created := m.CreatedAt
+	if created == "" {
+		created = "unknown time"
+	}
+	return fmt.Sprintf("rev %s, created %s", rev, created)
 }
 
 // gridSummary renders a manifest's grid compactly for listings.
@@ -91,34 +141,89 @@ func gridSummary(m gossip.CorpusManifest) string {
 	return strings.Join(parts, " ")
 }
 
-// compareMain runs `gossipsim compare <refRun> <candidateRun>`: it joins
-// the two stored runs on their grid coordinates, diffs every metric
-// under the given tolerances, renders the regression verdict table, and
+// compareMain runs `gossipsim compare`: it joins two runs on their
+// grid coordinates, diffs every metric under a tolerance profile (or a
+// uniform abs/rel pair), renders the regression verdict table, and
 // exits 1 when the candidate regressed — the CI gate.
+//
+// The runs come either from explicit run directories, or — with -dir —
+// from a corpus by "id[@gen]" selector, where a single bare ID means
+// "latest generation against the previous one":
+//
+//	gossipsim compare baseline-run/ candidate-run/
+//	gossipsim compare -profile ci ref/ cand/
+//	gossipsim compare -dir corpus ca637cb1349e19b4          # latest vs previous
+//	gossipsim compare -dir corpus id@0 id@latest            # pinned generations
 func compareMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	abs := fs.Float64("abs", 0, "absolute tolerance per metric mean")
 	rel := fs.Float64("rel", 0, "relative tolerance per metric mean (|new-ref| <= abs + rel*|ref|)")
+	profile := fs.String("profile", "", "per-metric tolerance profile ("+strings.Join(gossip.SweepProfileNames(), ", ")+"); overrides -abs/-rel")
+	dir := fs.String("dir", "", "resolve arguments as id[@gen] selectors in this corpus instead of run directories")
 	quiet := fs.Bool("q", false, "suppress the per-metric table, print only the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: gossipsim compare [-abs x] [-rel x] <reference-run-dir> <candidate-run-dir>")
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: gossipsim compare [-abs x | -rel x | -profile name] <reference-run-dir> <candidate-run-dir>")
+		fmt.Fprintln(stderr, "       gossipsim compare -dir corpus [-profile name] <id[@gen]> [<id[@gen]>]")
 		return 2
 	}
-	ref, err := gossip.OpenCorpusRun(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+	prof := gossip.UniformSweepProfile(gossip.SweepTolerance{Abs: *abs, Rel: *rel})
+	if *profile != "" {
+		if *abs != 0 || *rel != 0 {
+			fmt.Fprintln(stderr, "gossipsim compare: -profile and -abs/-rel are mutually exclusive")
+			return 2
+		}
+		var err error
+		if prof, err = gossip.NamedSweepProfile(*profile); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
-	cand, err := gossip.OpenCorpusRun(fs.Arg(1))
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+
+	var ref, cand *gossip.CorpusRun
+	var err error
+	switch {
+	case *dir != "" && (fs.NArg() == 1 || fs.NArg() == 2):
+		store, oerr := gossip.OpenCorpus(*dir)
+		if oerr != nil {
+			fmt.Fprintln(stderr, oerr)
+			return 1
+		}
+		refSel, candSel := fs.Arg(0), fs.Arg(1)
+		if fs.NArg() == 1 {
+			// One selector: its generation (latest by default) against
+			// the one before it — the "did my revision drift" question.
+			if strings.Contains(refSel, "@") {
+				fmt.Fprintln(stderr, "gossipsim compare: the one-argument form takes a bare run ID (ref is its previous generation); pin generations by passing two selectors")
+				return 2
+			}
+			refSel, candSel = refSel+"@prev", refSel
+		}
+		if ref, err = store.Resolve(refSel); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if cand, err = store.Resolve(candSel); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	case *dir == "" && fs.NArg() == 2:
+		if ref, err = gossip.OpenCorpusRun(fs.Arg(0)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if cand, err = gossip.OpenCorpusRun(fs.Arg(1)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	default:
+		return usage()
 	}
-	cmp, err := gossip.CompareRuns(ref, cand, gossip.SweepTolerance{Abs: *abs, Rel: *rel})
+
+	cmp, err := gossip.CompareRunsProfile(ref, cand, prof)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,13 +73,14 @@ func TestArchiveMainImportListFilter(t *testing.T) {
 		t.Errorf("import listing wrong:\n%s", out.String())
 	}
 
-	// Re-import dedupes.
+	// Re-import of bit-identical cells at the same revision dedupes —
+	// and the decision reports both generations' provenance.
 	out.Reset()
 	if code := archiveMain([]string{"-dir", corpusDir, "-add", run}, &out, &errw); code != 0 {
 		t.Fatal("re-import failed")
 	}
-	if !strings.Contains(out.String(), "already stored") {
-		t.Errorf("dedupe not reported:\n%s", out.String())
+	if !strings.Contains(out.String(), "deduped") || !strings.Contains(out.String(), "incoming (rev") {
+		t.Errorf("dedupe decision not reported with both provenances:\n%s", out.String())
 	}
 
 	// Filtered listing: a matching filter shows the run, a missing one
@@ -96,6 +98,181 @@ func TestArchiveMainImportListFilter(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no matching runs") {
 		t.Errorf("memory filter matched:\n%s", out.String())
+	}
+}
+
+// TestGenerationWorkflowCLI drives the corpus-lifecycle loop end to
+// end at the command layer: archive one configuration at two fake
+// revisions, list both generations, compare latest-vs-previous (default
+// and @gen-pinned), render the trend, and prune back down to one.
+func TestGenerationWorkflowCLI(t *testing.T) {
+	run := writeRun(t, 6)
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+
+	var out, errw strings.Builder
+	code := archiveMain([]string{"-dir", corpusDir, "-add", run, "-rev", "revA"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("archive revA exited %d: %s", code, errw.String())
+	}
+	// Same cells, different revision: appended, not silently discarded.
+	code = archiveMain([]string{"-dir", corpusDir, "-add", run, "-rev", "revB"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("archive revB exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "previous generation") || !strings.Contains(out.String(), "gens=2") {
+		t.Errorf("second revision did not append a listed generation:\n%s", out.String())
+	}
+
+	store, err := gossip.OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, damaged, err := store.Runs()
+	if err != nil || len(damaged) != 0 || len(runs) != 1 {
+		t.Fatalf("store = %d runs, %d damaged, %v", len(runs), len(damaged), err)
+	}
+	id := runs[0].Manifest.ID
+	gens, _, err := store.Generations(id)
+	if err != nil || len(gens) != 2 {
+		t.Fatalf("generations = %d, %v; want 2", len(gens), err)
+	}
+	if gens[0].Manifest.Revision != "revA" || gens[1].Manifest.Revision != "revB" {
+		t.Fatalf("generation provenance: %s, %s", gens[0].Manifest.Revision, gens[1].Manifest.Revision)
+	}
+
+	// compare -dir defaults to latest vs previous; the cells are
+	// bit-identical, so the ci profile passes.
+	out.Reset()
+	if code := compareMain([]string{"-dir", corpusDir, "-profile", "ci", id}, &out, &errw); code != 0 {
+		t.Fatalf("corpus compare exited %d: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "profile ci") {
+		t.Errorf("corpus compare output wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), id+"@") {
+		t.Errorf("comparison labels missing generations:\n%s", out.String())
+	}
+	// @gen pins: comparing a generation against itself passes at the
+	// exact profile; a bad selector errors.
+	out.Reset()
+	if code := compareMain([]string{"-dir", corpusDir, "-profile", "exact", id + "@revA", id + "@0"}, &out, &errw); code != 0 {
+		t.Fatalf("pinned compare exited %d: %s", code, errw.String())
+	}
+	if code := compareMain([]string{"-dir", corpusDir, id + "@9"}, &out, &errw); code == 0 {
+		t.Error("out-of-range generation selector succeeded")
+	}
+
+	// trend renders one point per generation with provenance.
+	out.Reset()
+	if code := trendMain([]string{"-dir", corpusDir, id}, &out, &errw); code != 0 {
+		t.Fatalf("trend exited %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"trend: run " + id, "revA", "revB", "steps"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("trend output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// prune -keep 1: dry-run removes nothing, the real pass removes
+	// exactly the older generation.
+	out.Reset()
+	if code := pruneMain([]string{"-dir", corpusDir, "-keep", "1", "-dry-run"}, &out, &errw); code != 0 {
+		t.Fatalf("dry-run prune exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "would remove") || !strings.Contains(out.String(), "nothing removed") {
+		t.Errorf("dry-run report wrong:\n%s", out.String())
+	}
+	if gens, _, _ = store.Generations(id); len(gens) != 2 {
+		t.Fatalf("dry-run prune removed a generation: %d left", len(gens))
+	}
+	out.Reset()
+	if code := pruneMain([]string{"-dir", corpusDir, "-keep", "1"}, &out, &errw); code != 0 {
+		t.Fatalf("prune exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "pruned 1 generation(s)") {
+		t.Errorf("prune report wrong:\n%s", out.String())
+	}
+	gens, _, err = store.Generations(id)
+	if err != nil || len(gens) != 1 || gens[0].Manifest.Revision != "revB" {
+		t.Fatalf("prune kept %d gens (first rev %s), want only revB", len(gens), gens[0].Manifest.Revision)
+	}
+
+	// A prune with no rules is a usage error, not a silent no-op.
+	if code := pruneMain([]string{"-dir", corpusDir}, &out, &errw); code != 2 {
+		t.Errorf("rule-less prune exited %d, want 2", code)
+	}
+}
+
+// TestArchiveListingFlagsIncompleteRuns: the listing derives
+// completeness from the cheap line count (corpus.CellsDone), and still
+// flags a run whose stored cells are short.
+func TestArchiveListingFlagsIncompleteRuns(t *testing.T) {
+	run := writeRun(t, 7)
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+	var out, errw strings.Builder
+	if code := archiveMain([]string{"-dir", corpusDir, "-add", run}, &out, &errw); code != 0 {
+		t.Fatalf("archive exited %d: %s", code, errw.String())
+	}
+
+	store, err := gossip.OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, _, err := store.Runs()
+	if err != nil || len(runs) != 1 {
+		t.Fatal(err)
+	}
+	cells, err := os.ReadFile(filepath.Join(runs[0].Dir, "cells.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := strings.Index(string(cells), "\n") + 1
+	if err := os.WriteFile(filepath.Join(runs[0].Dir, "cells.jsonl"), cells[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := archiveMain([]string{"-dir", corpusDir}, &out, &errw); code != 0 {
+		t.Fatalf("listing exited %d: %s", code, errw.String())
+	}
+	want := fmt.Sprintf("1/%d cells", runs[0].Manifest.ExpectedCells())
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("listing does not flag the incomplete run (want %q):\n%s", want, out.String())
+	}
+}
+
+// TestArchiveListingSkipsDamagedRuns: a torn run in the store is
+// listed as unreadable instead of failing the whole archive command.
+func TestArchiveListingSkipsDamagedRuns(t *testing.T) {
+	run := writeRun(t, 8)
+	corpusDir := filepath.Join(t.TempDir(), "corpus")
+	var out, errw strings.Builder
+	if code := archiveMain([]string{"-dir", corpusDir, "-add", run}, &out, &errw); code != 0 {
+		t.Fatalf("archive exited %d: %s", code, errw.String())
+	}
+	torn := filepath.Join(corpusDir, "feedface00000000")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, "manifest.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := archiveMain([]string{"-dir", corpusDir}, &out, &errw); code != 0 {
+		t.Fatalf("listing over a damaged store exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "1 run(s)") || !strings.Contains(out.String(), "UNREADABLE") {
+		t.Errorf("damaged store listing wrong:\n%s", out.String())
+	}
+
+	// prune -damaged -dry-run sees it; the real pass clears it.
+	out.Reset()
+	if code := pruneMain([]string{"-dir", corpusDir, "-damaged"}, &out, &errw); code != 0 {
+		t.Fatalf("damaged prune exited %d: %s", code, errw.String())
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("torn run survived prune -damaged")
 	}
 }
 

@@ -94,15 +94,15 @@ func dispatchMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		stored, added, err := store.Import(run)
+		a, err := store.Import(run, gossip.BuildRevision())
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if added {
-			fmt.Fprintf(stdout, "archived run %s into %s\n", stored.Manifest.ID, *archive)
+		if a.Added {
+			fmt.Fprintf(stdout, "archived run %s as generation %s into %s\n", a.Run.Manifest.ID, a.Run.Gen, *archive)
 		} else {
-			fmt.Fprintf(stdout, "already archived: %s (%s)\n", stored.Manifest.ID, *archive)
+			fmt.Fprintf(stdout, "already archived: %s is bit-identical to generation %s (%s)\n", a.Run.Manifest.ID, a.Run.Gen, *archive)
 		}
 	}
 	return 0

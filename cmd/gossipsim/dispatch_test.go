@@ -99,7 +99,11 @@ func TestDispatchMainEndToEnd(t *testing.T) {
 		t.Errorf("archive not reported:\n%s", out.String())
 	}
 	id := gossip.SweepRunID(dispatchTestGrid(t))
-	stored, err := gossip.OpenCorpusRun(filepath.Join(corpusDir, id))
+	corpusStore, err := gossip.OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := corpusStore.Load(id)
 	if err != nil {
 		t.Fatalf("archived run not in corpus: %v", err)
 	}

@@ -19,11 +19,19 @@
 //	    -reps 10 -json out.jsonl
 //
 // Sweeps checkpoint to a run directory with -out and resume with
-// -resume; the corpus subcommands store, diff and render such runs:
+// -resume; the corpus subcommands store, diff and render such runs.
+// The corpus is generational: archiving the same configuration again —
+// typically from a newer code revision — appends a generation under
+// the run's content-addressed ID instead of discarding the new
+// results, and id@gen selectors, trend reports, tolerance profiles and
+// prune/GC manage the history:
 //
 //	gossipsim sweep -sizes 1024..1048576 -algos sampled -out run/ -resume
 //	gossipsim archive -dir corpus -add run/
 //	gossipsim compare baseline-run/ candidate-run/     # exit 1 on regression
+//	gossipsim compare -dir corpus -profile ci <id>     # latest vs previous gen
+//	gossipsim trend -dir corpus <id>                   # metric vs revision
+//	gossipsim prune -dir corpus -keep 5 -dry-run
 //	gossipsim report run/
 //
 // A grid too big for one process shards across any number of machines
@@ -69,6 +77,10 @@ func main() {
 			os.Exit(compareMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "report":
 			os.Exit(reportMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "trend":
+			os.Exit(trendMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "prune":
+			os.Exit(pruneMain(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (

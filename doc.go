@@ -44,14 +44,15 @@
 // `gossipsim sweep -out`): a run is a directory holding
 //
 //	manifest.json   {"id", "grid", "cells", optional "shard", "workers",
-//	                 "created_at", "version"} — the canonical grid
-//	                 declaration (every axis explicit, master seed
-//	                 included), the expanded cell count, and provenance.
-//	                 "id" is the content-addressed run ID:
+//	                 "created_at", "revision", "version"} — the
+//	                 canonical grid declaration (every axis explicit,
+//	                 master seed included), the expanded cell count,
+//	                 and provenance ("revision" is the code revision
+//	                 that produced the results, stamped from the
+//	                 binary's vcs build info). "id" is the
+//	                 content-addressed run ID:
 //	                 hex(SHA-256(canonical grid JSON))[:16], so
-//	                 identical configurations map to identical IDs and
-//	                 a corpus (OpenCorpus, `gossipsim archive`) dedupes
-//	                 replays.
+//	                 identical configurations map to identical IDs.
 //	cells.jsonl     one SweepRecord JSON object per line, in cell-index
 //	                 order: the full scenario ("index", "algo", "model",
 //	                 "n", "density", "failures", optional knobs, "reps")
@@ -72,6 +73,58 @@
 // report`) renders a stored run as a table plus ASCII
 // density-vs-rounds plots. See examples/regressiongate for the
 // archive→compare CI gate.
+//
+// # The generational corpus
+//
+// A corpus (OpenCorpus, `gossipsim archive -dir`) holds each run ID as
+// an ordered set of generations:
+//
+//	<corpus>/<id>/<gen>/manifest.json
+//	<corpus>/<id>/<gen>/cells.jsonl
+//
+// where <gen> is derived from the manifest's provenance — compact
+// creation timestamp + code revision, e.g.
+// "20260726T104501Z-3f9ab12" — so names sort chronologically.
+// Archiving a configuration that is already stored appends a new
+// generation instead of discarding the new results: metric drift
+// across code revisions stays visible. The single exception is a
+// re-archive whose cells are bit-identical to the current latest
+// generation at the same revision — same code, same deterministic
+// results — which dedupes, with the decision and both generations'
+// provenance reported (CorpusAppended), never silently. Flat
+// pre-generational stores (<corpus>/<id>/manifest.json) are read as a
+// single generation 0 and migrated into the layout above on the first
+// append.
+//
+// Selectors name generations everywhere a stored run is read
+// (Corpus.Resolve/Load, `gossipsim compare -dir`, `gossipsim trend`):
+// "id" is the latest generation, "id@latest" and "id@prev" are
+// relative, "id@0" is the oldest (ordinals count up from 0), and
+// "id@<fragment>" pins by any unique fragment of the generation name —
+// a revision works. `gossipsim compare -dir corpus <id>` with a single
+// bare ID compares the latest generation against the previous one.
+//
+// Comparisons gate per-metric via tolerance profiles
+// (NamedSweepProfile, `gossipsim compare -profile`) instead of one
+// global abs/rel pair:
+//
+//	exact   zero tolerance everywhere: only bit-equal means pass — the
+//	        replay gate.
+//	ci      the cross-revision gate: "completed" exact (a
+//	        configuration that stops completing is a regression),
+//	        "steps" ±1 round absolute, "msgs_per_node" /
+//	        "packets_per_node" / "opened_per_node" and unlisted
+//	        metrics 5% relative.
+//
+// `gossipsim trend -dir corpus <id>` renders one configuration
+// family's history — each metric's mean across every generation,
+// oldest first, with per-generation provenance, deltas, and an ASCII
+// plot of metric vs generation (CorpusTrendOf). `gossipsim prune -dir
+// corpus [-keep n] [-age d] [-damaged] [-dry-run]` garbage-collects
+// generations beyond the newest n and/or older than d; the newest
+// readable generation of every run always survives, -damaged also
+// clears unreadable wreckage (which listings skip-and-report rather
+// than fail on), and -dry-run prints the plan without deleting.
 //
 // # Sharded sweeps
 //

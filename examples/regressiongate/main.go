@@ -54,11 +54,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	stored, _, err := store.Import(baseline)
+	imported, err := store.Import(baseline, "")
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("archived baseline %s (%d cells)\n\n", stored.Manifest.ID, len(recs))
+	stored := imported.Run
+	fmt.Printf("archived baseline %s (%d cells)\n\n", stored.Label(), len(recs))
 
 	// 2. The candidate build replays the same configuration. Zero
 	// tolerance: only bit-equal means pass — and they do.

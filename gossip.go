@@ -312,21 +312,47 @@ func WriteSweepJSONL(w io.Writer, results []SweepCellResult) error {
 	return runner.WriteJSONL(w, results)
 }
 
-// The sweep corpus (internal/corpus): a persistent store of sweep runs
-// with content-addressed run IDs, cross-run regression comparison, and
-// checkpoint/resume. A run directory holds manifest.json (the grid
-// declaration and provenance) plus cells.jsonl (one SweepRecord per
-// line, in cell order); `gossipsim archive/compare/report` and the
-// `gossipsim sweep -out/-resume` flags are the command-line front end.
+// The sweep corpus (internal/corpus): a persistent, generational store
+// of sweep runs with content-addressed run IDs, cross-run regression
+// comparison, and checkpoint/resume. A run directory holds
+// manifest.json (the grid declaration and provenance) plus cells.jsonl
+// (one SweepRecord per line, in cell order); in a Corpus each run ID
+// holds an ordered set of such directories — one generation per
+// archived code revision — resolved by "id[@gen]" selectors.
+// `gossipsim archive/compare/report/trend/prune` and the `gossipsim
+// sweep -out/-resume` flags are the command-line front end.
 type (
-	// Corpus is a directory of stored runs keyed by content-addressed ID.
+	// Corpus is a directory of stored runs keyed by content-addressed
+	// ID, each an ordered set of generations.
 	Corpus = corpus.Store
-	// CorpusRun is one stored run (manifest + cells).
+	// CorpusRun is one stored run (manifest + cells); in a Corpus it is
+	// one generation of its run ID.
 	CorpusRun = corpus.Run
 	// CorpusManifest describes a stored run.
 	CorpusManifest = corpus.Manifest
 	// CorpusFilter selects runs/cells by grid coordinates.
 	CorpusFilter = corpus.Filter
+	// CorpusProvenance labels an archived generation: workers, creation
+	// time, code revision.
+	CorpusProvenance = corpus.Provenance
+	// CorpusAppended reports an Archive/Import decision: the generation
+	// written (or deduped against), whether one was added, and both
+	// generations' provenance.
+	CorpusAppended = corpus.Appended
+	// CorpusDamaged reports a store entry listing skipped because it
+	// could not be opened.
+	CorpusDamaged = corpus.Damaged
+	// CorpusTrend is one configuration family's metric history across
+	// its stored generations.
+	CorpusTrend = corpus.Trend
+	// CorpusTrendPoint is one generation's aggregate in a trend.
+	CorpusTrendPoint = corpus.TrendPoint
+	// CorpusPruneOptions selects which generations CorpusRun GC removes.
+	CorpusPruneOptions = corpus.PruneOptions
+	// CorpusPrunePlan reports what a prune pass removed (or would).
+	CorpusPrunePlan = corpus.PrunePlan
+	// CorpusPruneVictim is one directory a prune pass removed.
+	CorpusPruneVictim = corpus.PruneVictim
 	// SweepRecord is the serialized form of one sweep cell — the JSONL
 	// line format of both the sweep stream and the corpus.
 	SweepRecord = runner.CellRecord
@@ -334,6 +360,9 @@ type (
 	SweepMetricAgg = runner.MetricAgg
 	// SweepTolerance bounds acceptable drift in a run comparison.
 	SweepTolerance = corpus.Tolerance
+	// SweepToleranceProfile maps each metric to its own drift bound,
+	// with a default for unlisted metrics.
+	SweepToleranceProfile = corpus.Profile
 	// SweepComparison is the metric-by-metric diff of two runs.
 	SweepComparison = corpus.Comparison
 	// SweepStream re-orders completed cells into a JSON-lines stream.
@@ -382,15 +411,55 @@ func MergeRuns(dir string, runs []*CorpusRun) (*CorpusRun, error) {
 }
 
 // CompareRuns diffs a candidate run against a reference metric by
-// metric; see SweepComparison.Regressed for the gate verdict.
+// metric under one uniform tolerance; see SweepComparison.Regressed
+// for the gate verdict.
 func CompareRuns(ref, cand *CorpusRun, tol SweepTolerance) (*SweepComparison, error) {
 	return corpus.CompareRuns(ref, cand, tol)
+}
+
+// CompareRunsProfile is CompareRuns under a per-metric tolerance
+// profile (NamedSweepProfile, UniformSweepProfile).
+func CompareRunsProfile(ref, cand *CorpusRun, p SweepToleranceProfile) (*SweepComparison, error) {
+	return corpus.CompareRunsProfile(ref, cand, p)
 }
 
 // CompareSweepRecords is CompareRuns over in-memory record sets.
 func CompareSweepRecords(ref, cand []SweepRecord, tol SweepTolerance) *SweepComparison {
 	return corpus.Compare(ref, cand, tol)
 }
+
+// CompareSweepRecordsProfile is CompareRunsProfile over in-memory
+// record sets.
+func CompareSweepRecordsProfile(ref, cand []SweepRecord, p SweepToleranceProfile) *SweepComparison {
+	return corpus.CompareProfile(ref, cand, p)
+}
+
+// NamedSweepProfile returns a built-in per-metric tolerance profile:
+// "exact" (zero tolerance everywhere) or "ci" (completed exact, steps
+// ±1 round absolute, message/packet volumes 5% relative).
+func NamedSweepProfile(name string) (SweepToleranceProfile, error) {
+	return corpus.NamedProfile(name)
+}
+
+// SweepProfileNames lists the built-in tolerance profiles.
+func SweepProfileNames() []string { return corpus.ProfileNames() }
+
+// UniformSweepProfile gates every metric with the same tolerance.
+func UniformSweepProfile(t SweepTolerance) SweepToleranceProfile {
+	return corpus.UniformProfile(t)
+}
+
+// CorpusTrendOf aggregates the generations of one run (oldest first —
+// the order Corpus.Generations returns) into a per-metric trend,
+// restricted to cells matching f.
+func CorpusTrendOf(gens []*CorpusRun, f CorpusFilter) (*CorpusTrend, error) {
+	return corpus.TrendOf(gens, f)
+}
+
+// BuildRevision reports the code revision baked into the running
+// binary (vcs.revision, truncated), or "" when the build carries none
+// — the default provenance stamped on runs and archived generations.
+func BuildRevision() string { return corpus.BuildRevision() }
 
 // ReportRun renders a stored run as its aggregate table plus ASCII
 // plots of the gossip metrics against the run's moving axis.

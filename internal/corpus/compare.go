@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"gossip/internal/runner"
 	"gossip/internal/sweep"
@@ -34,6 +35,78 @@ func (t Tolerance) Within(a, b float64) bool {
 }
 
 func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// Profile is a per-metric tolerance map with a default: the right
+// drift bound differs by metric (a completion fraction must not move
+// at all; a round count may wobble by one; a message count is noisy
+// in proportion to its size), so gating every metric through one
+// global abs/rel pair forces the loosest metric's slack onto the
+// strictest.
+type Profile struct {
+	// Name labels the profile in verdict tables ("" for an ad-hoc
+	// uniform profile).
+	Name string
+	// Default applies to metrics not listed in Metrics.
+	Default Tolerance
+	// Metrics maps a metric name to its tolerance.
+	Metrics map[string]Tolerance
+}
+
+// For returns the tolerance gating the named metric.
+func (p Profile) For(metric string) Tolerance {
+	if t, ok := p.Metrics[metric]; ok {
+		return t
+	}
+	return p.Default
+}
+
+// UniformProfile gates every metric with the same tolerance — the
+// pre-profile abs/rel pair.
+func UniformProfile(t Tolerance) Profile { return Profile{Default: t} }
+
+// Named tolerance profiles for NamedProfile.
+var profiles = map[string]Profile{
+	// exact: only bit-identical means pass — the gate for replays of
+	// one deterministic configuration by the same code.
+	"exact": {Name: "exact"},
+	// ci: the cross-revision regression gate. Completion is exact (a
+	// configuration that stops completing has regressed, period),
+	// round counts may drift by ±1 absolute (discrete, small-valued),
+	// and message/packet volumes are gated relatively (their natural
+	// scale grows with n, so an absolute bound is meaningless across a
+	// grid). Unlisted metrics get the relative default.
+	"ci": {
+		Name:    "ci",
+		Default: Tolerance{Rel: 0.05},
+		Metrics: map[string]Tolerance{
+			"completed":        {},
+			"steps":            {Abs: 1},
+			"msgs_per_node":    {Rel: 0.05},
+			"packets_per_node": {Rel: 0.05},
+			"opened_per_node":  {Rel: 0.05},
+		},
+	},
+}
+
+// NamedProfile returns a built-in tolerance profile by name; see
+// ProfileNames.
+func NamedProfile(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("corpus: unknown tolerance profile %q (have %s)", name, strings.Join(ProfileNames(), ", "))
+	}
+	return p, nil
+}
+
+// ProfileNames lists the built-in tolerance profiles.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Verdict strings of a metric or cell comparison.
 const (
@@ -68,8 +141,8 @@ type CellDiff struct {
 
 // Comparison is the metric-by-metric diff of two runs.
 type Comparison struct {
-	Ref, New string // labels (run IDs or paths)
-	Tol      Tolerance
+	Ref, New string // labels (run IDs, id@gen, or paths)
+	Prof     Profile
 	Cells    []CellDiff
 	// Matched counts joined cells; OnlyRef/OnlyNew the unjoined ones.
 	Matched, OnlyRef, OnlyNew int
@@ -85,13 +158,20 @@ func (c *Comparison) Regressed() bool {
 	return c.Failing > 0 || c.OnlyRef > 0
 }
 
-// Compare diffs candidate records against reference records, joining
-// cells on their grid coordinates and metrics by name.
+// Compare diffs candidate records against reference records under one
+// uniform tolerance, joining cells on their grid coordinates and
+// metrics by name.
 func Compare(ref, cand []runner.CellRecord, tol Tolerance) *Comparison {
-	c := &Comparison{Tol: tol}
+	return CompareProfile(ref, cand, UniformProfile(tol))
+}
+
+// CompareProfile diffs candidate records against reference records,
+// gating each metric with the profile's tolerance for it.
+func CompareProfile(ref, cand []runner.CellRecord, p Profile) *Comparison {
+	c := &Comparison{Prof: p}
 	pairs, onlyRef, onlyNew := Join(ref, cand)
-	for _, p := range pairs {
-		d := diffCell(p[0], p[1], tol)
+	for _, pair := range pairs {
+		d := diffCell(pair[0], pair[1], p)
 		if d.Verdict == VerdictFail {
 			c.Failing++
 		}
@@ -113,7 +193,7 @@ func Compare(ref, cand []runner.CellRecord, tol Tolerance) *Comparison {
 	return c
 }
 
-func diffCell(ref, cand runner.CellRecord, tol Tolerance) CellDiff {
+func diffCell(ref, cand runner.CellRecord, p Profile) CellDiff {
 	d := CellDiff{Key: KeyOf(ref.Scenario), Scenario: ref.Scenario, Verdict: VerdictOK}
 	names := map[string]bool{}
 	for k := range ref.Metrics {
@@ -144,7 +224,7 @@ func diffCell(ref, cand runner.CellRecord, tol Tolerance) CellDiff {
 			} else {
 				md.Rel = math.NaN()
 			}
-			if tol.Within(r.Mean, n.Mean) {
+			if p.For(k).Within(r.Mean, n.Mean) {
 				md.Verdict = VerdictOK
 			} else {
 				md.Verdict = VerdictFail
@@ -156,9 +236,16 @@ func diffCell(ref, cand runner.CellRecord, tol Tolerance) CellDiff {
 	return d
 }
 
-// CompareRuns loads and diffs two stored runs, labeling the comparison
-// with their run IDs.
+// CompareRuns loads and diffs two stored runs under one uniform
+// tolerance, labeling the comparison with their run labels.
 func CompareRuns(ref, cand *Run, tol Tolerance) (*Comparison, error) {
+	return CompareRunsProfile(ref, cand, UniformProfile(tol))
+}
+
+// CompareRunsProfile loads and diffs two stored runs under a tolerance
+// profile, labeling the comparison with their run labels (id@gen for
+// stored generations).
+func CompareRunsProfile(ref, cand *Run, p Profile) (*Comparison, error) {
 	a, err := ref.Records()
 	if err != nil {
 		return nil, err
@@ -167,16 +254,19 @@ func CompareRuns(ref, cand *Run, tol Tolerance) (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := Compare(a, b, tol)
-	c.Ref, c.New = ref.Manifest.ID, cand.Manifest.ID
+	c := CompareProfile(a, b, p)
+	c.Ref, c.New = ref.Label(), cand.Label()
 	return c, nil
 }
 
 // Table renders the regression verdict table: one row per (cell,
 // metric) pair, plus one row per unmatched cell.
 func (c *Comparison) Table() *sweep.Table {
-	title := fmt.Sprintf("compare: ref %s vs new %s (tol abs=%g rel=%g)",
-		c.Ref, c.New, c.Tol.Abs, c.Tol.Rel)
+	tol := fmt.Sprintf("tol abs=%g rel=%g", c.Prof.Default.Abs, c.Prof.Default.Rel)
+	if c.Prof.Name != "" {
+		tol = "profile " + c.Prof.Name
+	}
+	title := fmt.Sprintf("compare: ref %s vs new %s (%s)", c.Ref, c.New, tol)
 	t := &sweep.Table{
 		Title:   title,
 		Columns: []string{"cell", "metric", "ref", "new", "delta", "rel", "verdict"},

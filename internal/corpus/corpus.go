@@ -16,8 +16,23 @@
 // canonical grid JSON (runner.Grid.Canonical, which includes the master
 // seed — everything that determines the sweep's results, and nothing
 // that does not). Identical configurations therefore map to identical
-// IDs, so a Store dedupes replays, and a stored run's provenance can be
-// verified by re-deriving its ID from its own manifest.
+// IDs, and a stored run's provenance can be verified by re-deriving its
+// ID from its own manifest.
+//
+// A Store is generational: one run ID holds an ordered set of
+// generations — <store>/<id>/<gen>/ — each a full run directory, with
+// the generation name derived from the manifest's creation timestamp
+// and code revision. Re-archiving an identical configuration from
+// newer code appends a new generation instead of silently returning
+// the stale one, so metric drift across revisions stays visible;
+// only a re-run that is bit-identical at the same revision dedupes,
+// and even then the decision and both generations' provenance are
+// reported (Appended). Selectors resolve generations: "id" is the
+// latest, "id@prev" the one before it, "id@0" the oldest, and
+// "id@<name>" pins one by (a unique fragment of) its generation name.
+// Pre-generational stores — manifest.json directly under <store>/<id>
+// — are read as a single generation 0 and migrated into the
+// generational layout the first time a new generation is appended.
 //
 // cells.jsonl is written through runner.OrderedJSONL, so at every
 // instant — including after a kill — the file is an in-order prefix of
@@ -37,10 +52,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"gossip/internal/runner"
 )
@@ -75,10 +94,13 @@ type Manifest struct {
 	// record is bit-identical to the same cell of a full run, and
 	// MergeRuns can interleave disjoint shards back into one.
 	Shard *ShardManifest `json:"shard,omitempty"`
-	// Workers, CreatedAt and Version are provenance; they do not affect
-	// results and are excluded from the ID.
+	// Workers, CreatedAt, Revision and Version are provenance; they do
+	// not affect results and are excluded from the ID. Revision is the
+	// code revision (git commit) that produced the results; together
+	// with CreatedAt it names the run's generation in a Store.
 	Workers   int    `json:"workers,omitempty"`
 	CreatedAt string `json:"created_at,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 	Version   string `json:"version,omitempty"`
 }
 
@@ -107,6 +129,26 @@ func (m Manifest) ExpectedCells() int {
 		return len(m.Shard.Cells)
 	}
 	return m.Cells
+}
+
+// BuildRevision reports the code revision baked into the running
+// binary (the vcs.revision build setting, truncated to 12 hex digits),
+// or "" when the build carries none (e.g. test binaries). It is the
+// default Revision provenance for runs and archived generations.
+func BuildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
 }
 
 // GridID content-addresses a grid: hex(SHA-256(canonical JSON))[:16].
@@ -156,6 +198,18 @@ func NewShardManifest(g runner.Grid, cr runner.CellRange) (Manifest, error) {
 type Run struct {
 	Dir      string
 	Manifest Manifest
+	// Gen is the run's generation name within its Store ("0" for a
+	// pre-generational flat run), empty for a run opened outside one.
+	Gen string
+}
+
+// Label names the run for display: "id" for a standalone run,
+// "id@gen" for a stored generation.
+func (r *Run) Label() string {
+	if r.Gen == "" {
+		return r.Manifest.ID
+	}
+	return r.Manifest.ID + "@" + r.Gen
 }
 
 // OpenRun reads dir's manifest. It verifies the stored ID against the
@@ -306,7 +360,8 @@ func CellsDone(dir string) (int, error) {
 	}
 }
 
-// Store is a directory of runs keyed by their content-addressed IDs.
+// Store is a directory of runs keyed by their content-addressed IDs,
+// each run an ordered set of generations.
 type Store struct {
 	Dir string
 }
@@ -319,93 +374,447 @@ func Open(dir string) (*Store, error) {
 	return &Store{Dir: dir}, nil
 }
 
-// Path returns where the identified run lives in the store.
+// Path returns where the identified run's generations live in the
+// store.
 func (s *Store) Path(id string) string { return filepath.Join(s.Dir, id) }
 
-// Load opens the identified run.
-func (s *Store) Load(id string) (*Run, error) { return OpenRun(s.Path(id)) }
+// Damaged reports one store entry that could not be opened: a torn
+// manifest, a tampered grid, a corrupt cell file. Listing skips over
+// damaged entries instead of failing the whole store — and keeps them
+// visible, because Prune needs to see them to delete them.
+type Damaged struct {
+	Dir string
+	Err error
+}
 
-// Runs opens every run in the store, sorted by ID. Entries without a
-// manifest are skipped (the store owns only what it can identify); a
-// run that fails to open errors.
-func (s *Store) Runs() ([]*Run, error) {
-	entries, err := os.ReadDir(s.Dir)
+// Load resolves a run selector — "id", "id@latest", "id@prev", an
+// ordinal "id@0" (oldest first), or "id@<name>" pinning a generation
+// by its name or a unique fragment of it — and opens that generation.
+// A bare ID resolves to the latest generation.
+func (s *Store) Load(sel string) (*Run, error) { return s.Resolve(sel) }
+
+// Resolve opens the generation a selector names; see Load.
+func (s *Store) Resolve(sel string) (*Run, error) {
+	id, gen := SplitSelector(sel)
+	gens, damaged, err := s.Generations(id)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: list store: %w", err)
+		return nil, err
 	}
-	var runs []*Run
+	if len(gens) == 0 {
+		if len(damaged) > 0 {
+			return nil, fmt.Errorf("corpus: run %s: no readable generations (%d damaged, first: %v)", id, len(damaged), damaged[0].Err)
+		}
+		return nil, fmt.Errorf("corpus: run %s: no generations stored", id)
+	}
+	return pickGen(id, gens, gen)
+}
+
+// SplitSelector splits "id[@gen]" at the last '@'.
+func SplitSelector(sel string) (id, gen string) {
+	if i := strings.LastIndex(sel, "@"); i >= 0 {
+		return sel[:i], sel[i+1:]
+	}
+	return sel, ""
+}
+
+// pickGen resolves a generation selector against an ordered (oldest
+// first) generation list.
+func pickGen(id string, gens []*Run, sel string) (*Run, error) {
+	switch sel {
+	case "", "latest":
+		return gens[len(gens)-1], nil
+	case "prev":
+		if len(gens) < 2 {
+			return nil, fmt.Errorf("corpus: run %s has only %d generation(s) — no previous to compare against", id, len(gens))
+		}
+		return gens[len(gens)-2], nil
+	}
+	// An in-range integer is an ordinal; an out-of-range one falls
+	// through to name-fragment matching — an all-digit revision or a
+	// timestamp fragment must stay usable as a selector.
+	if n, err := strconv.Atoi(sel); err == nil && n >= 0 && n < len(gens) {
+		return gens[n], nil
+	}
+	var hit *Run
+	for _, g := range gens {
+		if g.Gen == sel {
+			return g, nil
+		}
+		if strings.Contains(g.Gen, sel) {
+			if hit != nil {
+				return nil, fmt.Errorf("corpus: run %s: generation selector %q is ambiguous (%s, %s, …)", id, sel, hit.Gen, g.Gen)
+			}
+			hit = g
+		}
+	}
+	if hit != nil {
+		return hit, nil
+	}
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.Gen
+	}
+	return nil, fmt.Errorf("corpus: run %s has no generation %q (have %s)", id, sel, strings.Join(names, ", "))
+}
+
+// Generations opens every readable generation of the identified run,
+// oldest first, along with the generation directories that failed to
+// open. A flat pre-generational run directory is returned as the
+// single generation "0". A run ID with no directory at all errors
+// (os.ErrNotExist).
+func (s *Store) Generations(id string) ([]*Run, []Damaged, error) {
+	dir := s.Path(id)
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		// Flat legacy layout: the run files live directly under the ID.
+		r, oerr := OpenRun(dir)
+		if oerr != nil {
+			return nil, []Damaged{{Dir: dir, Err: oerr}}, nil
+		}
+		r.Gen = "0"
+		return []*Run{r}, nil, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("corpus: probe run %s: %w", id, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: list run %s: %w", id, err)
+	}
+	var (
+		gens    []*Run
+		damaged []Damaged
+	)
 	for _, e := range entries {
 		if !e.IsDir() || strings.Contains(e.Name(), ".tmp-") {
-			// Not a run, or an uncommitted WriteRun left by a crash.
+			// Not a generation, or an uncommitted WriteRun/migration
+			// staging directory left by a crash.
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(s.Dir, e.Name(), ManifestName)); errors.Is(err, os.ErrNotExist) {
+		gd := filepath.Join(dir, e.Name())
+		if _, err := os.Stat(filepath.Join(gd, ManifestName)); errors.Is(err, os.ErrNotExist) {
 			continue
 		}
-		r, err := OpenRun(filepath.Join(s.Dir, e.Name()))
+		r, err := OpenRun(gd)
 		if err != nil {
-			return nil, err
+			damaged = append(damaged, Damaged{Dir: gd, Err: err})
+			continue
 		}
-		runs = append(runs, r)
+		r.Gen = e.Name()
+		gens = append(gens, r)
+	}
+	sort.Slice(gens, func(i, j int) bool {
+		if gens[i].Manifest.CreatedAt != gens[j].Manifest.CreatedAt {
+			return gens[i].Manifest.CreatedAt < gens[j].Manifest.CreatedAt
+		}
+		return gens[i].Gen < gens[j].Gen
+	})
+	return gens, damaged, nil
+}
+
+// Runs opens the latest readable generation of every run in the store,
+// sorted by ID. Entries without any manifest are skipped (the store
+// owns only what it can identify); entries that hold a manifest but
+// fail to open are skipped too and reported as damaged, so one torn
+// run no longer bricks listing, selection, or pruning of the rest.
+func (s *Store) Runs() ([]*Run, []Damaged, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: list store: %w", err)
+	}
+	var (
+		runs    []*Run
+		damaged []Damaged
+	)
+	for _, e := range entries {
+		if !e.IsDir() || strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		gens, bad, gerr := s.Generations(e.Name())
+		if gerr != nil {
+			damaged = append(damaged, Damaged{Dir: filepath.Join(s.Dir, e.Name()), Err: gerr})
+			continue
+		}
+		damaged = append(damaged, bad...)
+		if len(gens) > 0 {
+			runs = append(runs, gens[len(gens)-1])
+		}
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].Manifest.ID < runs[j].Manifest.ID })
-	return runs, nil
+	return runs, damaged, nil
 }
 
-// Archive stores results as a completed run under their grid's
-// content-addressed ID. If the store already holds a complete run with
-// that ID it is returned with added == false: identical configurations
-// dedupe. An unreadable or incomplete stored run (a previously
-// interrupted import) is replaced, not deduped against.
-func (s *Store) Archive(g runner.Grid, workers int, createdAt string, results []runner.CellResult) (r *Run, added bool, err error) {
+// Provenance labels an archived generation: who computed the results,
+// when, and from which code revision.
+type Provenance struct {
+	Workers   int
+	CreatedAt string
+	Revision  string
+}
+
+// Appended reports what Archive or Import did with incoming results.
+// Both generations' provenance is always available — Run.Manifest for
+// where the results live now, Prev.Manifest for the generation that
+// preceded them — so a dedupe decision is never silent.
+type Appended struct {
+	// Run is the generation holding the results after the operation:
+	// the freshly written one, or (when deduped) the existing latest.
+	Run *Run
+	// Added reports whether a new generation directory was written.
+	Added bool
+	// Prev is the latest generation before the operation ran; nil for
+	// the first generation of a run ID. When Added is false the
+	// incoming cells were bit-identical to Prev at the same revision
+	// and were deduped: Run == Prev.
+	Prev *Run
+	// Incoming is the manifest the operation stored — or, when
+	// deduped, would have stored: the incoming results' provenance.
+	Incoming Manifest
+}
+
+// Archive stores results as a new generation of their grid's
+// content-addressed run ID. A re-archive whose cells are bit-identical
+// to the current latest generation *at the same code revision* dedupes
+// — same code, same deterministic results, nothing new to record — but
+// the decision and both generations' provenance are reported. Any
+// other re-archive (new revision, or drifted results) appends a new
+// generation, so metric drift across revisions is never silently
+// discarded.
+func (s *Store) Archive(g runner.Grid, prov Provenance, results []runner.CellResult) (*Appended, error) {
 	m := NewManifest(g)
-	m.Workers = workers
-	m.CreatedAt = createdAt
-	if existing := s.loadComplete(m.ID); existing != nil {
-		return existing, false, nil
-	}
-	r, err = WriteRun(s.Path(m.ID), m, runner.Records(results))
-	return r, err == nil, err
+	m.Workers = prov.Workers
+	m.CreatedAt = prov.CreatedAt
+	m.Revision = prov.Revision
+	return s.appendGen(m, runner.Records(results))
 }
 
-// Import copies an existing run directory into the store under its ID,
-// deduping like Archive. Shard runs are refused: they share their full
-// grid's ID, so storing one would shadow (or be shadowed by) the
-// complete run — merge shards first (MergeRuns, `gossipsim merge`).
-func (s *Store) Import(src *Run) (r *Run, added bool, err error) {
+// Import copies an existing run directory into the store as a new
+// generation of its run ID, deduping like Archive. rev, when non-empty,
+// overrides the revision recorded in the stored generation's manifest
+// (the source manifest's own revision is kept otherwise). Shard runs
+// are refused: they share their full grid's ID, so storing one would
+// shadow (or be shadowed by) the complete run — merge shards first
+// (MergeRuns, `gossipsim merge`).
+func (s *Store) Import(src *Run, rev string) (*Appended, error) {
 	if src.Manifest.Shard != nil {
-		return nil, false, fmt.Errorf("corpus: %s is shard %s of run %s — merge the shards and import the merged run", src.Dir, src.Manifest.Shard.Spec, src.Manifest.ID)
-	}
-	id := src.Manifest.ID
-	if existing := s.loadComplete(id); existing != nil {
-		return existing, false, nil
+		return nil, fmt.Errorf("corpus: %s is shard %s of run %s — merge the shards and import the merged run", src.Dir, src.Manifest.Shard.Spec, src.Manifest.ID)
 	}
 	recs, err := src.Records()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	r, err = WriteRun(s.Path(id), src.Manifest, recs)
-	return r, err == nil, err
+	m := src.Manifest
+	if rev != "" {
+		m.Revision = rev
+	}
+	return s.appendGen(m, recs)
 }
 
-// loadComplete returns the identified run only if it opens cleanly,
-// is a full (non-shard) run, and holds every cell — the dedupe
-// criterion.
-func (s *Store) loadComplete(id string) *Run {
-	r, err := s.Load(id)
-	if err != nil || r.Manifest.Shard != nil {
-		return nil
+// appendGen is the shared Archive/Import core: dedupe against the
+// latest generation, migrate a flat legacy run out of the way, and
+// write the new generation.
+func (s *Store) appendGen(m Manifest, recs []runner.CellRecord) (*Appended, error) {
+	if m.CreatedAt == "" {
+		// A generation needs a creation instant for its name and for
+		// age-based pruning; a manifest without one (e.g. a merged run,
+		// whose provenance lives in its shards) is stamped at append.
+		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	}
-	if done, err := r.Complete(); err != nil || !done {
-		return nil
+	var buf bytes.Buffer
+	if err := runner.WriteRecordJSONL(&buf, recs); err != nil {
+		return nil, err
 	}
-	return r
+	gens, _, err := s.Generations(m.ID)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	var prev *Run
+	if len(gens) > 0 {
+		prev = gens[len(gens)-1]
+	}
+	if prev != nil && prev.Manifest.Revision == m.Revision && fileEquals(prev.CellsPath(), buf.Bytes()) {
+		return &Appended{Run: prev, Prev: prev, Incoming: m}, nil
+	}
+	if err := s.migrateFlat(m.ID); err != nil {
+		return nil, err
+	}
+	name, err := s.freshGenName(m)
+	if err != nil {
+		return nil, err
+	}
+	r, err := WriteRun(filepath.Join(s.Path(m.ID), name), m, recs)
+	if err != nil {
+		return nil, err
+	}
+	r.Gen = name
+	return &Appended{Run: r, Added: true, Prev: prev, Incoming: m}, nil
 }
 
-// Select opens the runs whose grid contains at least one cell matching
-// f, sorted by ID.
+// fileEquals reports whether path's contents equal want, without
+// buffering the file: the size check rejects almost every drifted run
+// for the cost of a stat, and a matching size streams chunkwise — the
+// dedupe probe must not triple a multi-gigabyte run's memory
+// footprint.
+func fileEquals(path string, want []byte) bool {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() != int64(len(want)) {
+		return false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, 64*1024)
+	for len(want) > 0 {
+		n, err := f.Read(buf)
+		if n > len(want) || !bytes.Equal(buf[:n], want[:n]) {
+			return false
+		}
+		want = want[n:]
+		if err == io.EOF {
+			return len(want) == 0
+		}
+		if err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// GenName derives a manifest's generation directory name from its
+// provenance: <compact creation timestamp>-<revision>. Timestamps
+// order lexicographically, so names sort chronologically.
+func GenName(m Manifest) string {
+	ts := "0"
+	if t, err := time.Parse(time.RFC3339, m.CreatedAt); err == nil {
+		ts = t.UTC().Format("20060102T150405Z")
+	}
+	rev := sanitizeRev(m.Revision)
+	if rev == "" {
+		rev = "unversioned"
+	}
+	return ts + "-" + rev
+}
+
+// sanitizeRev keeps a revision filesystem-safe and short enough for a
+// directory name.
+func sanitizeRev(rev string) string {
+	var b strings.Builder
+	for _, r := range rev {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		}
+		if b.Len() >= 24 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// freshGenName returns m's generation name, suffixed past any existing
+// generation directory (two archives in the same second at the same
+// revision with drifted cells must not overwrite each other).
+func (s *Store) freshGenName(m Manifest) (string, error) {
+	base := GenName(m)
+	name := base
+	for i := 2; ; i++ {
+		_, err := os.Stat(filepath.Join(s.Path(m.ID), name))
+		if errors.Is(err, os.ErrNotExist) {
+			return name, nil
+		}
+		if err != nil {
+			return "", fmt.Errorf("corpus: probe generation %s/%s: %w", m.ID, name, err)
+		}
+		name = fmt.Sprintf("%s-%d", base, i)
+	}
+}
+
+// migrateFlat moves a flat pre-generational run — manifest.json
+// directly under <store>/<id> — into a generation subdirectory named
+// from its own provenance, so it stays generation 0 of the ID it
+// already anchors. The migration is lossless at every instant: the
+// files are *copied* into a ".tmp-" sibling (which every listing
+// skips), committed with one rename, and only then are the flat
+// originals removed — so a crash or failed rename anywhere leaves the
+// flat run intact (still read as generation 0), and a crash after the
+// commit leaves both copies, which the next append reconciles by
+// finishing the removal. An unreadable flat run is cleared instead,
+// matching the pre-generational behavior of replacing a broken stored
+// run rather than deduping against it.
+func (s *Store) migrateFlat(id string) error {
+	dir := s.Path(id)
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("corpus: probe run %s: %w", id, err)
+	}
+	r, err := OpenRun(dir)
+	if err != nil {
+		for _, name := range []string{ManifestName, CellsName} {
+			if rerr := os.Remove(filepath.Join(dir, name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return fmt.Errorf("corpus: clear unreadable flat run %s: %w", id, rerr)
+			}
+		}
+		return syncDir(dir)
+	}
+	target := filepath.Join(dir, GenName(r.Manifest))
+	if _, serr := os.Stat(target); errors.Is(serr, os.ErrNotExist) {
+		tmp, err := os.MkdirTemp(dir, ".tmp-migrate-")
+		if err != nil {
+			return fmt.Errorf("corpus: migrate flat run %s: %w", id, err)
+		}
+		defer os.RemoveAll(tmp)
+		for _, name := range []string{ManifestName, CellsName} {
+			if err := copyFile(filepath.Join(dir, name), filepath.Join(tmp, name)); err != nil {
+				return fmt.Errorf("corpus: migrate flat run %s: %w", id, err)
+			}
+		}
+		if err := os.Rename(tmp, target); err != nil {
+			return fmt.Errorf("corpus: migrate flat run %s: %w", id, err)
+		}
+	} else if serr != nil {
+		return fmt.Errorf("corpus: migrate flat run %s: %w", id, serr)
+	}
+	// The generation directory is committed (now, or by an earlier
+	// migration that died before this point); the flat originals are
+	// redundant and must go, or they would keep shadowing the
+	// generational layout.
+	for _, name := range []string{ManifestName, CellsName} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("corpus: migrate flat run %s: %w", id, err)
+		}
+	}
+	return syncDir(dir)
+}
+
+// copyFile copies src to dst (fsynced): migration staging must not
+// move the only copy of a run's data.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Select opens the latest generations whose grid contains at least one
+// cell matching f, sorted by ID. Damaged store entries are skipped;
+// list them with Runs.
 func (s *Store) Select(f Filter) ([]*Run, error) {
-	runs, err := s.Runs()
+	runs, _, err := s.Runs()
 	if err != nil {
 		return nil, err
 	}
@@ -529,10 +938,19 @@ func (f Filter) MatchScenario(s runner.Scenario) bool {
 	if f.N != 0 && s.N != f.N {
 		return false
 	}
-	if f.Density != 0 && effectiveDensity(s) != f.Density {
+	if f.Density != 0 && !densityMatches(effectiveDensity(s), f.Density) {
 		return false
 	}
 	return true
+}
+
+// densityMatches compares a CLI-parsed density against a scenario's
+// effective density with a small relative epsilon: effective densities
+// are computed (scaled, divided, summed), so demanding bitwise
+// equality against a decimal literal like 0.3 silently filters out the
+// very cells the user named.
+func densityMatches(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // MatchRun reports whether any of the run's grid cells matches.

@@ -128,38 +128,64 @@ func TestOpenRunRejectsTamperedManifest(t *testing.T) {
 	}
 }
 
-func TestStoreArchiveDedupes(t *testing.T) {
+func TestStoreArchiveDedupesSameRevisionOnly(t *testing.T) {
 	g := testGrid(7)
 	results := runGrid(t, g, 2)
 	store, err := Open(filepath.Join(t.TempDir(), "corpus"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, added, err := store.Archive(g, 2, "2026-07-26T00:00:00Z", results)
-	if err != nil || !added {
-		t.Fatalf("first archive: added=%v err=%v", added, err)
+	a1, err := store.Archive(g, Provenance{Workers: 2, CreatedAt: "2026-07-26T00:00:00Z", Revision: "revA"}, results)
+	if err != nil || !a1.Added || a1.Prev != nil {
+		t.Fatalf("first archive: %+v err=%v", a1, err)
 	}
-	r2, added, err := store.Archive(g, 8, "2026-07-27T00:00:00Z", results)
-	if err != nil || added {
-		t.Fatalf("second archive: added=%v err=%v, want dedupe", added, err)
+	// A bit-identical re-archive at the same revision dedupes — and
+	// the decision carries both generations' provenance.
+	a2, err := store.Archive(g, Provenance{Workers: 8, CreatedAt: "2026-07-27T00:00:00Z", Revision: "revA"}, results)
+	if err != nil || a2.Added {
+		t.Fatalf("same-revision re-archive: %+v err=%v, want dedupe", a2, err)
 	}
-	if r1.Manifest.ID != r2.Manifest.ID {
-		t.Errorf("dedupe returned a different run: %s vs %s", r1.Manifest.ID, r2.Manifest.ID)
+	if a2.Prev == nil || a2.Run != a2.Prev {
+		t.Errorf("dedupe did not report the existing generation: %+v", a2)
 	}
-	runs, err := store.Runs()
-	if err != nil {
-		t.Fatal(err)
+	if a2.Incoming.CreatedAt != "2026-07-27T00:00:00Z" || a2.Run.Manifest.CreatedAt != "2026-07-26T00:00:00Z" {
+		t.Errorf("dedupe decision lost a provenance: incoming %q, kept %q",
+			a2.Incoming.CreatedAt, a2.Run.Manifest.CreatedAt)
+	}
+	// The same results archived from a *different* revision append a
+	// new generation: the historical bug was dropping this on the floor.
+	a3, err := store.Archive(g, Provenance{Workers: 2, CreatedAt: "2026-07-28T00:00:00Z", Revision: "revB"}, results)
+	if err != nil || !a3.Added {
+		t.Fatalf("new-revision archive: %+v err=%v, want appended", a3, err)
+	}
+	if a3.Prev == nil || a3.Prev.Manifest.Revision != "revA" {
+		t.Errorf("append did not report the previous generation: %+v", a3)
+	}
+	gens, damaged, err := store.Generations(a1.Run.Manifest.ID)
+	if err != nil || len(damaged) != 0 || len(gens) != 2 {
+		t.Fatalf("Generations = %d runs, %d damaged, err %v; want 2, 0, nil", len(gens), len(damaged), err)
+	}
+	if gens[0].Manifest.Revision != "revA" || gens[1].Manifest.Revision != "revB" {
+		t.Errorf("generations out of order: %s then %s", gens[0].Manifest.Revision, gens[1].Manifest.Revision)
+	}
+
+	runs, damaged, err := store.Runs()
+	if err != nil || len(damaged) != 0 {
+		t.Fatal(err, damaged)
 	}
 	if len(runs) != 1 {
-		t.Fatalf("store holds %d runs, want 1", len(runs))
+		t.Fatalf("store lists %d runs, want 1 (latest generation per ID)", len(runs))
+	}
+	if runs[0].Manifest.Revision != "revB" {
+		t.Errorf("Runs returned generation %q, want the latest (revB)", runs[0].Manifest.Revision)
 	}
 
 	// A different seed is a different configuration: stored separately.
 	g2 := testGrid(8)
-	if _, added, err := store.Archive(g2, 2, "", runGrid(t, g2, 2)); err != nil || !added {
-		t.Fatalf("different-seed archive: added=%v err=%v", added, err)
+	if a, err := store.Archive(g2, Provenance{Workers: 2}, runGrid(t, g2, 2)); err != nil || !a.Added {
+		t.Fatalf("different-seed archive: %+v err=%v", a, err)
 	}
-	if runs, _ = store.Runs(); len(runs) != 2 {
+	if runs, _, _ = store.Runs(); len(runs) != 2 {
 		t.Fatalf("store holds %d runs, want 2", len(runs))
 	}
 }
@@ -175,10 +201,12 @@ func TestStoreImportAndSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, added, err := store.Import(run); err != nil || !added {
-		t.Fatalf("import: added=%v err=%v", added, err)
+	if a, err := store.Import(run, ""); err != nil || !a.Added {
+		t.Fatalf("import: %+v err=%v", a, err)
 	}
-	if _, added, _ := store.Import(run); added {
+	// Re-import of the same directory is bit-identical at the same
+	// revision: deduped.
+	if a, _ := store.Import(run, ""); a.Added {
 		t.Error("re-import did not dedupe")
 	}
 

@@ -81,8 +81,8 @@ func TestShardKillResumeMergeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, added, err := store.Import(merged); err != nil || !added {
-		t.Errorf("import merged run: added=%v err=%v", added, err)
+	if a, err := store.Import(merged, ""); err != nil || !a.Added {
+		t.Errorf("import merged run: %+v err=%v", a, err)
 	}
 }
 
@@ -231,7 +231,7 @@ func TestShardStoreGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := store.Import(run); err == nil || !strings.Contains(err.Error(), "merge") {
+	if _, err := store.Import(run, ""); err == nil || !strings.Contains(err.Error(), "merge") {
 		t.Errorf("store imported a shard run: %v", err)
 	}
 

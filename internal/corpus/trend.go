@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"gossip/internal/asciiplot"
+	"gossip/internal/sweep"
+)
+
+// Trend is one configuration family's metric history: for every stored
+// generation of a run ID (oldest first), each metric's mean across the
+// family's cells. It answers the corpus-lifecycle question the
+// single-pair comparator cannot: not "did this revision drift from the
+// last one" but "how has steps-at-density-d moved across every
+// revision we have archived".
+type Trend struct {
+	ID string
+	// Metrics is the sorted union of metric names across generations.
+	Metrics []string
+	// Points holds one entry per generation, oldest first.
+	Points []TrendPoint
+}
+
+// TrendPoint is one generation's aggregate in a trend.
+type TrendPoint struct {
+	Gen       string
+	CreatedAt string
+	Revision  string
+	// Cells counts the records that matched the trend's filter.
+	Cells int
+	// Means maps metric name to the mean of the matching cells' means;
+	// a metric absent from every matching cell is absent here.
+	Means map[string]float64
+}
+
+// TrendOf aggregates the given generations (oldest first — the order
+// Store.Generations returns) into a trend, restricted to the cells
+// matching f. Generations whose cells cannot be read error: a trend
+// silently missing a revision would hide exactly the drift it exists
+// to show.
+func TrendOf(gens []*Run, f Filter) (*Trend, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("corpus: trend over zero generations")
+	}
+	t := &Trend{ID: gens[0].Manifest.ID}
+	names := map[string]bool{}
+	for _, g := range gens {
+		if g.Manifest.ID != t.ID {
+			return nil, fmt.Errorf("corpus: trend mixes runs %s and %s — one configuration family per trend", t.ID, g.Manifest.ID)
+		}
+		recs, err := g.Records()
+		if err != nil {
+			return nil, err
+		}
+		recs = FilterRecords(recs, f)
+		p := TrendPoint{
+			Gen:       g.Gen,
+			CreatedAt: g.Manifest.CreatedAt,
+			Revision:  g.Manifest.Revision,
+			Cells:     len(recs),
+			Means:     map[string]float64{},
+		}
+		count := map[string]int{}
+		for _, rec := range recs {
+			for name, agg := range rec.Metrics {
+				p.Means[name] += agg.Mean
+				count[name]++
+				names[name] = true
+			}
+		}
+		for name, n := range count {
+			p.Means[name] /= float64(n)
+		}
+		t.Points = append(t.Points, p)
+	}
+	for name := range names {
+		t.Metrics = append(t.Metrics, name)
+	}
+	sort.Strings(t.Metrics)
+	return t, nil
+}
+
+// Table renders the trend: one row per generation, one column per
+// metric, with each metric's delta against the previous generation.
+func (t *Trend) Table() *sweep.Table {
+	cols := []string{"gen", "generation", "created", "revision", "cells"}
+	for _, m := range t.Metrics {
+		cols = append(cols, m, "Δ"+m)
+	}
+	tab := &sweep.Table{
+		Title:   fmt.Sprintf("trend: run %s, %d generation(s)", t.ID, len(t.Points)),
+		Columns: cols,
+	}
+	for i, p := range t.Points {
+		rev := p.Revision
+		if rev == "" {
+			rev = "-"
+		}
+		created := p.CreatedAt
+		if created == "" {
+			created = "-"
+		}
+		row := []any{i, p.Gen, created, rev, p.Cells}
+		for _, m := range t.Metrics {
+			v, ok := p.Means[m]
+			if !ok {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.6g", v))
+			if i == 0 {
+				row = append(row, "-")
+				continue
+			}
+			prev, ok := t.Points[i-1].Means[m]
+			if !ok || isNonFinite(v) || isNonFinite(prev) {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%+.3g", v-prev))
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}
+
+// Render writes the trend table and, when there is more than one
+// generation, one ASCII plot per metric of its mean against the
+// generation ordinal — metric vs revision, the corpus-lifecycle view.
+func (t *Trend) Render(w io.Writer) {
+	t.Table().Render(w)
+	if len(t.Points) < 2 {
+		return
+	}
+	for _, m := range t.Metrics {
+		var s asciiplot.Series
+		s.Name = m
+		for i, p := range t.Points {
+			v, ok := p.Means[m]
+			if !ok || isNonFinite(v) {
+				continue
+			}
+			s.Xs = append(s.Xs, float64(i))
+			s.Ys = append(s.Ys, v)
+		}
+		if len(s.Xs) < 2 {
+			continue
+		}
+		fmt.Fprintln(w)
+		asciiplot.Render(w, []asciiplot.Series{s}, asciiplot.Options{
+			Title:  fmt.Sprintf("%s vs generation", m),
+			XLabel: "generation (0 = oldest)",
+			YLabel: m,
+			ZeroY:  !anyNegative(s.Ys),
+		})
+	}
+}
+
+func anyNegative(vs []float64) bool {
+	for _, v := range vs {
+		if v < 0 || math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
