@@ -287,6 +287,7 @@ func ExecuteRunShard(dir string, g runner.Grid, cr runner.CellRange, workers int
 		}
 		m.Workers = workers
 		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		m.Revision = BuildRevision()
 		w, err = CreateRun(dir, m)
 	}
 	if err != nil {
