@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunServe(t *testing.T) {
+	if code := run([]string{"serve", "-n", "6", "-payload", "t", "-delay", "50us"}); code != 0 {
+		t.Fatalf("serve exited %d", code)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("bare invocation exited %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}); code != 2 {
+		t.Fatalf("unknown subcommand exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,159 @@
+// Command perf runs the repo's performance kernels under the testing
+// benchmark harness and writes the results as BENCH_core.json — a
+// machine-readable perf snapshot CI can archive and humans can diff
+// across revisions:
+//
+//	go run ./cmd/perf -out BENCH_core.json
+//	go run ./cmd/perf -quick        # CI-sized inputs
+//
+// The kernels cover the hot paths of a sweep cell: a full dense-tracker
+// push–pull run, one tracked round in isolation, the sampled estimator
+// at a size beyond the dense tracker's comfort, the graph generators,
+// and the dial+incoming substrate step the transports sit on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"gossip/internal/core"
+	"gossip/internal/corpus"
+	"gossip/internal/graph"
+	"gossip/internal/phone"
+	"gossip/internal/xrand"
+)
+
+// benchResult is one kernel's measurement in BENCH_core.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH_core.json schema.
+type benchFile struct {
+	Go         string        `json:"go"`
+	Revision   string        `json:"revision,omitempty"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file (- for stdout)")
+	quick := flag.Bool("quick", false, "CI-sized inputs (faster, noisier)")
+	flag.Parse()
+
+	// Kernel sizes. Full mode matches the scales ROADMAP perf notes use;
+	// quick mode shrinks everything so CI finishes in seconds.
+	nRun, nRound, nSampled, kSampled, nGen := 2048, 8192, 32768, 64, 65536
+	if *quick {
+		nRun, nRound, nSampled, kSampled, nGen = 512, 2048, 8192, 32, 16384
+	}
+
+	kernels := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{fmt.Sprintf("pushpull_run/n=%d", nRun), func(b *testing.B) {
+			g := graph.ErdosRenyi(nRun, graph.PLogSquared(nRun), xrand.New(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.PushPull(g, uint64(i+1), 0)
+			}
+		}},
+		{fmt.Sprintf("pushpull_round/n=%d", nRound), func(b *testing.B) {
+			// One tracked round in isolation: the dense tracker's
+			// per-step cost without completion-dominated tail rounds.
+			g := graph.ErdosRenyi(nRound, graph.PLogSquared(nRound), xrand.New(1))
+			res, _ := core.PushPullOver(phone.NewNet(g, 1), 3, core.SyncTransport)
+			if res.Steps != 3 {
+				b.Fatalf("warmup ran %d steps", res.Steps)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.PushPullOver(phone.NewNet(g, uint64(i+1)), 3, core.SyncTransport)
+			}
+		}},
+		{fmt.Sprintf("pushpull_sampled/n=%d,k=%d", nSampled, kSampled), func(b *testing.B) {
+			g := graph.ErdosRenyi(nSampled, graph.PLogSquared(nSampled), xrand.New(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.PushPullSampled(g, uint64(i+1), kSampled, 0)
+			}
+		}},
+		{fmt.Sprintf("gen_erdosrenyi/n=%d", nGen), func(b *testing.B) {
+			p := graph.PLogSquared(nGen)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.ErdosRenyi(nGen, p, xrand.New(uint64(i+1)))
+			}
+		}},
+		{fmt.Sprintf("gen_regular/n=%d,d=32", nGen/8), func(b *testing.B) {
+			// The pairing-model repair loop is superlinear in practice;
+			// benchmark it at a fraction of the ER size.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.RandomRegular(nGen/8, 32, xrand.New(uint64(i+1)))
+			}
+		}},
+		{fmt.Sprintf("round_dial_incoming/n=%d", nRound), func(b *testing.B) {
+			// The substrate step under every transport: dial everyone,
+			// invert into incoming-caller lists.
+			g := graph.ErdosRenyi(nRound, graph.PLogSquared(nRound), xrand.New(1))
+			nt := phone.NewNet(g, 1)
+			r := phone.NewRound(nRound)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				for v := int32(0); v < int32(nRound); v++ {
+					r.Out[v] = g.RandomNeighbor(v, nt.RNG(v))
+				}
+				r.BuildIncoming()
+			}
+		}},
+	}
+
+	file := benchFile{
+		Go:         runtime.Version(),
+		Revision:   corpus.BuildRevision(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Benchmarks: make([]benchResult, 0, len(kernels)),
+	}
+	for _, k := range kernels {
+		fmt.Fprintf(os.Stderr, "bench %-36s ", k.name)
+		r := testing.Benchmark(k.fn)
+		file.Benchmarks = append(file.Benchmarks, benchResult{
+			Name:        k.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %6d allocs/op\n",
+			file.Benchmarks[len(file.Benchmarks)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d kernels)\n", *out, len(file.Benchmarks))
+}

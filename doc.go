@@ -175,6 +175,45 @@
 // run at -out — byte-identical to a single-process sweep — and with
 // -archive imports it into a corpus under its content-addressed ID.
 //
+// # The transport seam and node state machines
+//
+// Underneath the Run* entry points the gossiping algorithms are per-node
+// state machines (NodeMachine) driven by a pluggable step executor
+// (GossipTransport). A machine sees only local events:
+//
+//	OnStep(step)     decide this step's dial target and optional push
+//	                 payload (NoDial opens nothing).
+//	OnOpen(from)     answer a pull through a channel someone opened to
+//	                 this node. Read-only: transports may run it
+//	                 concurrently with other nodes' OnOpen calls.
+//	OnReceive(from, payload)  absorb a delivered push or pull response.
+//	OnStepEnd(step)  apply deferred state transitions.
+//
+// Three transports execute the same machines:
+//
+//	NewSyncTransport   the simulator's canonical executor: synchronous
+//	                   rounds, parallel phases sharded by receiving
+//	                   node, results bit-identical to the historic
+//	                   substrate loops at any GOMAXPROCS.
+//	NewAsyncTransport  one goroutine per node with channel-based
+//	                   delivery and a logical-step barrier — the
+//	                   concurrency shape of a real deployment with the
+//	                   repeatability of logical steps.
+//	ServeGossipd       the same machines behind per-node loopback TCP
+//	                   listeners with a static peer table and no global
+//	                   step barrier at all (cmd/gossipd serve).
+//
+// The push–pull baseline, the sampled estimator, single-rumor broadcast
+// (NewBroadcastMachines), the median-counter broadcast, and
+// fast-gossiping all run on the seam; Run*Over variants accept a
+// TransportFactory to pick the executor. Protocols whose receipt
+// handling is commutative produce identical results under every
+// transport (the conformance suite in internal/core pins this);
+// fast-gossiping's walk routing is order-sensitive, so under the async
+// transport only its completion semantics are preserved. MachineDriver
+// steps any transport until a completion predicate; see
+// examples/asyncbroadcast for the 50-line version.
+//
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.
 package gossip

@@ -8,7 +8,9 @@ import (
 	"gossip/internal/corpus"
 	"gossip/internal/dispatch"
 	"gossip/internal/exp"
+	"gossip/internal/gossipd"
 	"gossip/internal/graph"
+	"gossip/internal/phone"
 	"gossip/internal/runner"
 	"gossip/internal/stats"
 	"gossip/internal/sweep"
@@ -187,6 +189,71 @@ type SampledResult = core.SampledResult
 func RunPushPullSampled(g *Graph, seed uint64, k, maxSteps int) *SampledResult {
 	return core.PushPullSampled(g, seed, k, maxSteps)
 }
+
+// The transport seam (internal/phone, internal/core): algorithms are
+// per-node state machines (NodeMachine) driven by a pluggable transport.
+// NewSyncTransport is the simulator's canonical synchronous-round
+// executor — bit-identical results at any parallelism; NewAsyncTransport
+// runs one goroutine per node with channel delivery; ServeGossipd runs
+// the same machines over loopback TCP. See doc.go, "The transport seam
+// and node state machines".
+type (
+	// NodeMachine is one node's protocol logic: dial and push on OnStep,
+	// answer pulls in OnOpen (read-only), absorb deliveries in OnReceive,
+	// transition in OnStepEnd.
+	NodeMachine = phone.Machine
+	// GossipTransport executes one logical step of a machine set.
+	GossipTransport = phone.Transport
+	// StepTally counts one step's channel openings, pushes and responses.
+	StepTally = phone.StepTally
+	// TransportFactory builds a transport over a machine set; pass
+	// SyncTransportFactory or AsyncTransportFactory to the *Over runners.
+	TransportFactory = core.TransportFactory
+	// MachineDriver steps a transport until a completion predicate or a
+	// step cap.
+	MachineDriver = core.Driver
+	// BroadcastMachines is a single-rumor broadcast as a machine set:
+	// build with NewBroadcastMachines, run on any transport, then read
+	// per-node informed steps and delivered payloads.
+	BroadcastMachines = core.BroadcastSet
+	// GossipdConfig configures ServeGossipd.
+	GossipdConfig = gossipd.Config
+	// GossipdReport describes a finished ServeGossipd run.
+	GossipdReport = gossipd.Report
+)
+
+// Transport factories for the *Over runners and MachineDriver.
+var (
+	// SyncTransportFactory builds the synchronous round transport
+	// (deterministic, parallel, bit-identical to the historic loops).
+	SyncTransportFactory TransportFactory = core.SyncTransport
+	// AsyncTransportFactory builds the goroutine-per-node transport.
+	AsyncTransportFactory TransportFactory = core.AsyncTransport
+)
+
+// NewSyncTransport builds the synchronous round transport over ms.
+func NewSyncTransport(ms []NodeMachine) GossipTransport { return phone.NewSync(ms) }
+
+// NewAsyncTransport builds the goroutine-per-node transport over ms
+// (Close it when done — it owns goroutines).
+func NewAsyncTransport(ms []NodeMachine) GossipTransport { return phone.NewAsync(ms) }
+
+// NewBroadcastMachines builds the machine set disseminating payload from
+// src on g under the given transmission rule. A nil payload broadcasts a
+// plain marker.
+func NewBroadcastMachines(g *Graph, src int32, mode BroadcastMode, payload any, seed uint64) *BroadcastMachines {
+	return core.NewBroadcastSet(phone.NewNet(g, seed), src, mode, payload)
+}
+
+// RunBroadcastOver is RunBroadcast on a caller-chosen transport.
+func RunBroadcastOver(g *Graph, src int32, mode BroadcastMode, seed uint64, maxSteps int, tf TransportFactory) *BroadcastResult {
+	return core.BroadcastOver(g, src, mode, seed, maxSteps, tf)
+}
+
+// ServeGossipd boots cfg.N gossip nodes over loopback TCP with a static
+// peer table and runs a push–pull broadcast of cfg.Payload from node 0
+// to completion; see cmd/gossipd for the command-line front end.
+func ServeGossipd(cfg GossipdConfig) (*GossipdReport, error) { return gossipd.Serve(cfg) }
 
 // NewComplete returns the complete graph K_n (the baseline topology of the
 // paper's complete-graph comparisons).

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"gossip/internal/graph"
-	"gossip/internal/msg"
 	"gossip/internal/phone"
 )
 
@@ -55,64 +56,152 @@ type BroadcastResult struct {
 	InformedAt []int32
 }
 
+// broadcastMachine is the single-message broadcast as a node state
+// machine. Every healthy node dials a uniformly random neighbor each
+// step; an informed node pushes the rumor (push modes) and answers
+// incoming channels with it (pull modes). "Informed" uses the snapshot
+// rule informedAt < step, so receipt handling stays order-independent
+// within a step and OnOpen needs no state freeze.
+type broadcastMachine struct {
+	set        *BroadcastSet
+	id         int32
+	step       int32 // current step, set in OnStep
+	informedAt int32 // -1 until informed
+	rumor      any
+}
+
+// BroadcastSet is a single-message broadcast as a set of per-node
+// machines sharing one atomic informed count — the machine form of
+// Broadcast, exposed so external drivers (the async transport example,
+// internal/gossipd's loopback TCP nodes) can run the protocol with a
+// real payload. Each machine is only mutated through its own callbacks;
+// the shared count is atomic, so any Transport phasing is race-free.
+type BroadcastSet struct {
+	nt       *phone.Net
+	mode     BroadcastMode
+	informed atomic.Int64
+	nodes    []*broadcastMachine
+	ms       []phone.Machine
+}
+
+// NewBroadcastSet builds the broadcast machines over a prepared
+// substrate, with src initially informed (at step 0) and carrying the
+// given payload. A nil payload broadcasts a contentless marker (the
+// simulator's usual mode); gossipd passes real bytes.
+func NewBroadcastSet(nt *phone.Net, src int32, mode BroadcastMode, payload any) *BroadcastSet {
+	if payload == nil {
+		payload = markerPayload
+	}
+	n := nt.G.N()
+	s := &BroadcastSet{nt: nt, mode: mode}
+	s.nodes = make([]*broadcastMachine, n)
+	s.ms = make([]phone.Machine, n)
+	for v := 0; v < n; v++ {
+		s.nodes[v] = &broadcastMachine{set: s, id: int32(v), informedAt: -1}
+		s.ms[v] = s.nodes[v]
+	}
+	s.nodes[src].informedAt = 0
+	s.nodes[src].rumor = payload
+	s.informed.Store(1)
+	return s
+}
+
+// Machines returns the per-node machines, by node id.
+func (s *BroadcastSet) Machines() []phone.Machine { return s.ms }
+
+// Machine returns node v's machine.
+func (s *BroadcastSet) Machine(v int32) phone.Machine { return s.nodes[v] }
+
+// InformedCount returns the number of informed nodes (atomic; safe to
+// poll while a transport is running).
+func (s *BroadcastSet) InformedCount() int { return int(s.informed.Load()) }
+
+// Complete reports whether every node is informed.
+func (s *BroadcastSet) Complete() bool { return s.informed.Load() == int64(len(s.nodes)) }
+
+// InformedAt returns the step at which v was informed (-1 if not yet).
+// Only read it while no transport step is in flight.
+func (s *BroadcastSet) InformedAt(v int32) int32 { return s.nodes[v].informedAt }
+
+// PayloadAt returns the rumor payload v holds (nil if uninformed; the
+// marker payload when the set was built without one).
+func (s *BroadcastSet) PayloadAt(v int32) any { return s.nodes[v].rumor }
+
+func (b *broadcastMachine) informedBefore(step int32) bool {
+	return b.informedAt >= 0 && b.informedAt < step
+}
+
+func (b *broadcastMachine) OnStep(step int32) (int32, any) {
+	b.step = step
+	if b.set.nt.Failed[b.id] {
+		return phone.NoDial, nil
+	}
+	dial := b.set.nt.G.RandomNeighbor(b.id, b.set.nt.RNG(b.id))
+	var push any
+	if (b.set.mode == PushOnly || b.set.mode == PushAndPull) && b.informedBefore(step) {
+		push = b.rumor
+	}
+	return dial, push
+}
+
+func (b *broadcastMachine) OnOpen(from int32) any {
+	if b.set.mode == PullOnly || b.set.mode == PushAndPull {
+		if !b.set.nt.Failed[b.id] && b.informedBefore(b.step) {
+			return b.rumor
+		}
+	}
+	return nil
+}
+
+func (b *broadcastMachine) OnReceive(from int32, payload any) {
+	if b.set.nt.Failed[b.id] {
+		return
+	}
+	if b.informedAt < 0 {
+		b.informedAt = b.step
+		b.rumor = payload
+		b.set.informed.Add(1)
+	}
+}
+
+func (b *broadcastMachine) OnStepEnd(step int32) {}
+
 // Broadcast disseminates a single message from src over g under the given
 // mode, running until all nodes are informed or maxSteps elapses
 // (0 means 64·log n).
 func Broadcast(g *graph.Graph, src int32, mode BroadcastMode, seed uint64, maxSteps int) *BroadcastResult {
+	return BroadcastOver(g, src, mode, seed, maxSteps, SyncTransport)
+}
+
+// BroadcastOver runs the broadcast's node machines on the given
+// transport; under SyncTransport results are bit-identical to the
+// historic substrate loop.
+func BroadcastOver(g *graph.Graph, src int32, mode BroadcastMode, seed uint64, maxSteps int, tf TransportFactory) *BroadcastResult {
 	n := g.N()
 	if maxSteps <= 0 {
 		maxSteps = 64 * ceil(Logn(n))
 	}
-	nt := phone.NewNet(g, seed)
-	st := msg.NewSingle(n)
-	st.Inform(src, 0)
-	round := phone.NewRound(n)
+	set := NewBroadcastSet(phone.NewNet(g, seed), src, mode, nil)
+	t := tf(set.Machines())
+	defer t.Close()
 	res := &BroadcastResult{Mode: mode, N: n}
 
-	step := int32(0)
-	for int(step) < maxSteps && !st.Complete() {
-		step++
-		round.Reset()
-		nt.DialAll(round)
-		for _, u := range round.Out {
-			if u >= 0 {
-				res.Opened++
-			}
-		}
-		// Snapshot rule: only nodes informed before this step transmit.
-		informedBefore := func(v int32) bool {
-			at := st.InformedAt(v)
-			return at >= 0 && at < step
-		}
-		if mode == PushOnly || mode == PushAndPull {
-			for v := int32(0); int(v) < n; v++ {
-				u := round.Out[v]
-				if u >= 0 && informedBefore(v) && !nt.Failed[v] {
-					res.Transmissions++
-					if !nt.Failed[u] {
-						st.Inform(u, step)
-					}
-				}
-			}
-		}
-		if mode == PullOnly || mode == PushAndPull {
-			for v := int32(0); int(v) < n; v++ {
-				u := round.Out[v]
-				if u >= 0 && informedBefore(u) && !nt.Failed[u] {
-					res.Transmissions++
-					if !nt.Failed[v] {
-						st.Inform(v, step)
-					}
-				}
-			}
-		}
-		res.Steps++
+	d := &Driver{
+		T:        t,
+		MaxSteps: maxSteps,
+		Done:     set.Complete,
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			res.Opened += tl.Opened
+			res.Transmissions += tl.Pushes + tl.Responses
+			res.Steps++
+		},
 	}
+	d.Run()
 
-	res.Completed = st.Complete()
+	res.Completed = set.Complete()
 	res.InformedAt = make([]int32, n)
 	for v := int32(0); int(v) < n; v++ {
-		res.InformedAt[v] = st.InformedAt(v)
+		res.InformedAt[v] = set.InformedAt(v)
 	}
 	return res
 }

@@ -1,0 +1,112 @@
+package core
+
+import "gossip/internal/phone"
+
+// TransportFactory builds the Transport a machine-driven run executes on.
+// The *Over variants of the algorithms take one, so the same protocol
+// code runs on the synchronous in-memory transport (bit-identical to the
+// pre-seam loops), the asynchronous goroutine-per-node transport, or any
+// future networked transport.
+type TransportFactory func(ms []phone.Machine) phone.Transport
+
+// SyncTransport is the canonical in-memory transport (phone.Sync).
+func SyncTransport(ms []phone.Machine) phone.Transport { return phone.NewSync(ms) }
+
+// AsyncTransport is the goroutine-per-node channel transport (phone.Async).
+func AsyncTransport(ms []phone.Machine) phone.Transport { return phone.NewAsync(ms) }
+
+// Driver runs machine steps over a Transport until a protocol-level stop
+// condition or a step cap. Steps are numbered from 1; Done is evaluated
+// between steps (and before the first), so a run stops as soon as the
+// terminal predicate holds at a step boundary.
+type Driver struct {
+	T phone.Transport
+	// MaxSteps caps the run; <= 0 means no cap (Done alone stops it).
+	MaxSteps int
+	// Done, if non-nil, is the global terminal predicate.
+	Done func() bool
+	// BeforeStep/AfterStep, if non-nil, bracket every step — the hook
+	// point for shared-state snapshots (msg tracker BeginRound/EndRound)
+	// and for mapping the transport tally onto Meter conventions.
+	BeforeStep func(step int32)
+	AfterStep  func(step int32, t phone.StepTally)
+}
+
+// Run executes steps until Done or MaxSteps and returns the number of
+// steps executed.
+func (d *Driver) Run() int {
+	steps := 0
+	for d.MaxSteps <= 0 || steps < d.MaxSteps {
+		if d.Done != nil && d.Done() {
+			break
+		}
+		steps++
+		step := int32(steps)
+		if d.BeforeStep != nil {
+			d.BeforeStep(step)
+		}
+		t := d.T.Step(step)
+		if d.AfterStep != nil {
+			d.AfterStep(step, t)
+		}
+	}
+	return steps
+}
+
+// roundTracker is the tracker surface the exchange machines need; both
+// msg.Full and msg.Sampled implement it.
+type roundTracker interface {
+	BeginRound()
+	EndRound()
+	Transfer(src, dst int32) int
+}
+
+// marker is the push/response payload of tracker-backed machines: the
+// message content lives in the shared tracker and is transferred on
+// receipt, so the payload only marks that the channel carried a packet.
+type marker struct{}
+
+var markerPayload any = marker{}
+
+// exchangeMachine is the push–pull baseline as a node state machine:
+// every healthy node dials a uniformly random neighbor each step and
+// every open channel carries a bidirectional exchange, recorded in a
+// shared round tracker (receiver-sharded, so any Transport phasing that
+// delivers to one node from one goroutine at a time is race-free).
+type exchangeMachine struct {
+	id int32
+	nt *phone.Net
+	tr roundTracker
+}
+
+func exchangeMachines(nt *phone.Net, tr roundTracker) []phone.Machine {
+	n := nt.G.N()
+	ms := make([]phone.Machine, n)
+	for v := 0; v < n; v++ {
+		ms[v] = &exchangeMachine{id: int32(v), nt: nt, tr: tr}
+	}
+	return ms
+}
+
+func (m *exchangeMachine) OnStep(step int32) (int32, any) {
+	if m.nt.Failed[m.id] {
+		return phone.NoDial, nil
+	}
+	return m.nt.G.RandomNeighbor(m.id, m.nt.RNG(m.id)), markerPayload
+}
+
+func (m *exchangeMachine) OnOpen(from int32) any {
+	if m.nt.Failed[m.id] {
+		return nil
+	}
+	return markerPayload
+}
+
+func (m *exchangeMachine) OnReceive(from int32, payload any) {
+	if m.nt.Failed[m.id] {
+		return
+	}
+	m.tr.Transfer(from, m.id)
+}
+
+func (m *exchangeMachine) OnStepEnd(step int32) {}

@@ -1,11 +1,8 @@
 package core
 
 import (
-	"sort"
-
 	"gossip/internal/graph"
 	"gossip/internal/msg"
-	"gossip/internal/par"
 	"gossip/internal/phone"
 	"gossip/internal/walk"
 )
@@ -29,215 +26,234 @@ func FastGossipTracked(g *graph.Graph, p FastGossipParams, seed uint64) (*Result
 // inject crash failures (nt.Failed) before the run. Failed nodes never
 // dial, never forward walks and never store messages.
 func FastGossipOn(nt *phone.Net, p FastGossipParams) (*Result, *msg.Full) {
-	g := nt.G
-	n := g.N()
-	tr := msg.NewFull(n)
-	round := phone.NewRound(n)
-	res := &Result{Algorithm: "fast-gossiping", N: n, Leader: -1}
-
-	res.addPhase("distribution", fgDistribution(nt, tr, round, p))
-	res.addPhase("random-walks", fgRandomWalks(g, nt, tr, round, p))
-	res.addPhase("broadcast", fgFinalPushPull(nt, tr, round, p))
-	res.Completed = tr.Complete()
-	return res, tr
+	return FastGossipOver(nt, p, SyncTransport)
 }
 
-func countDials(round *phone.Round) int64 {
-	var dials int64
-	for _, u := range round.Out {
-		if u >= 0 {
-			dials++
+// fgMode selects what one logical step of the fast-gossiping machine
+// does. The schedule (which step runs in which mode, and the serial
+// drain/activate/deactivate bookkeeping between steps) is driven by
+// FastGossipOver; the shared mode field changes only between transport
+// steps.
+type fgMode uint8
+
+const (
+	// fgDistribute: every healthy node pushes its combined message
+	// (Phase I).
+	fgDistribute fgMode = iota
+	// fgCoinflip: each node starts a random walk with probability
+	// WalkProb (Phase II round opener).
+	fgCoinflip
+	// fgForward: each node forwards the head of its walk queue (Phase II
+	// forwarding steps).
+	fgForward
+	// fgActivate: active nodes push their combined message; receivers
+	// activate (Phase II activation broadcast).
+	fgActivate
+	// fgPushPull: plain push–pull exchange (Phase III).
+	fgPushPull
+)
+
+type fgShared struct {
+	nt   *phone.Net
+	tr   *msg.Full
+	p    FastGossipParams
+	mode fgMode
+}
+
+// fgMachine is one fast-gossiping node. Walk tokens travel as transport
+// payloads; each machine recycles tokens through its own pool, so the
+// parallel dial and delivery phases never contend on an allocator.
+type fgMachine struct {
+	sh      *fgShared
+	id      int32
+	pool    *walk.Pool
+	queue   walk.Queue
+	active  bool
+	gotPush bool // an activation push arrived this step
+}
+
+func (m *fgMachine) OnStep(step int32) (int32, any) {
+	sh := m.sh
+	nt := sh.nt
+	switch sh.mode {
+	case fgDistribute, fgPushPull:
+		if nt.Failed[m.id] {
+			return phone.NoDial, nil
 		}
-	}
-	return dials
-}
-
-// pushDeliver delivers the push direction of the current dial table into
-// the tracker, sharded by receiving node. Failed receivers store nothing
-// (the sender's transmission still happened and is metered by the caller).
-func pushDeliver(nt *phone.Net, tr *msg.Full, round *phone.Round) {
-	n := round.N()
-	tr.BeginRound()
-	par.For(n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if nt.Failed[v] {
-				continue
-			}
-			for _, u := range round.Incoming(int32(v)) {
-				tr.Transfer(u, int32(v))
-			}
+		return nt.G.RandomNeighbor(m.id, nt.RNG(m.id)), markerPayload
+	case fgCoinflip:
+		if nt.Failed[m.id] {
+			return phone.NoDial, nil
 		}
-	})
-	tr.EndRound()
-}
-
-// fgDistribution is Phase I: every node opens a channel and pushes its
-// combined message, for DistributionSteps steps.
-func fgDistribution(nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
-	var m phone.Meter
-	for t := 0; t < p.DistributionSteps; t++ {
-		round.Reset()
-		nt.DialAll(round)
-		dials := countDials(round)
-		pushDeliver(nt, tr, round)
-		m.Open(dials)
-		m.Push(dials)
-		m.Step()
-	}
-	return m
-}
-
-// fgRandomWalks is Phase II. Each round: (1) every node starts a random
-// walk with probability WalkProb by pushing its message set; (2) for
-// WalkSteps steps, arriving walks are merged into the host
-// (q_v.add(m' ∪ m_v); m_v ← m_v ∪ m') and each node forwards the head of
-// its queue; walks that exceed MaxMoves moves are stopped; (3) nodes left
-// with a non-empty queue become active and seed a BroadcastSteps-step push
-// broadcast in which receiving nodes activate; (4) everyone deactivates.
-func fgRandomWalks(g *graph.Graph, nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
-	n := g.N()
-	var m phone.Meter
-	pool := walk.NewPool(n)
-	queues := make([]walk.Queue, n)
-	arrivals := make([][]*walk.Token, n)
-	var touched []int32 // receivers with pending arrivals, in send order
-	active := make([]bool, n)
-
-	send := func(dst int32, tok *walk.Token) {
-		if len(arrivals[dst]) == 0 {
-			touched = append(touched, dst)
+		rng := nt.RNG(m.id)
+		if !rng.Bernoulli(sh.p.WalkProb) {
+			return phone.NoDial, nil
 		}
-		arrivals[dst] = append(arrivals[dst], tok)
+		u := nt.G.RandomNeighbor(m.id, rng)
+		if u < 0 {
+			return phone.NoDial, nil
+		}
+		tok := m.pool.Get()
+		tok.Payload.CopyFrom(sh.tr.Row(m.id))
+		tok.Moves = 1
+		return u, tok
+	case fgForward:
+		if nt.Failed[m.id] || m.queue.Empty() {
+			return phone.NoDial, nil
+		}
+		tok := m.queue.Pop()
+		u := nt.G.RandomNeighbor(m.id, nt.RNG(m.id))
+		if u < 0 {
+			m.pool.Put(tok)
+			return phone.NoDial, nil
+		}
+		tok.Moves++
+		return u, tok
+	case fgActivate:
+		if !m.active || nt.Failed[m.id] {
+			return phone.NoDial, nil
+		}
+		return nt.G.RandomNeighbor(m.id, nt.RNG(m.id)), markerPayload
 	}
+	return phone.NoDial, nil
+}
 
-	// deliver processes all pending arrivals: merge into the host and
-	// enqueue, dropping over-age walks and walks arriving at failed nodes.
-	// Receivers are processed in increasing id; within a receiver, tokens
-	// arrive in increasing sender id — fully deterministic.
-	deliver := func() {
-		if len(touched) == 0 {
+func (m *fgMachine) OnOpen(from int32) any {
+	// Only Phase III pulls; the push-shaped phases answer nothing.
+	if m.sh.mode == fgPushPull && !m.sh.nt.Failed[m.id] {
+		return markerPayload
+	}
+	return nil
+}
+
+func (m *fgMachine) OnReceive(from int32, payload any) {
+	sh := m.sh
+	switch sh.mode {
+	case fgDistribute, fgActivate, fgPushPull:
+		if sh.nt.Failed[m.id] {
 			return
 		}
-		cur := touched
-		touched = nil
-		sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
-		for _, v := range cur {
-			for _, tok := range arrivals[v] {
-				switch {
-				case nt.Failed[v]:
-					pool.Put(tok) // failed nodes store nothing
-				case tok.Moves <= p.MaxMoves:
-					tok.Payload.UnionWith(tr.Row(v)) // m' ∪ m_v
-					tr.MergeNow(tok.Payload, v)      // m_v ← m_v ∪ m'
-					queues[v].Add(tok)
-				default:
-					pool.Put(tok) // walk is stopped, not enqueued
-				}
-			}
-			arrivals[v] = arrivals[v][:0]
+		if sh.mode == fgActivate {
+			m.gotPush = true
+		}
+		sh.tr.Transfer(from, m.id)
+	case fgCoinflip, fgForward:
+		tok := payload.(*walk.Token)
+		switch {
+		case sh.nt.Failed[m.id]:
+			m.pool.Put(tok) // failed nodes store nothing
+		case tok.Moves <= sh.p.MaxMoves:
+			tok.Payload.UnionWith(sh.tr.Row(m.id)) // m' ∪ m_v
+			sh.tr.MergeNow(tok.Payload, m.id)      // m_v ← m_v ∪ m'
+			m.queue.Add(tok)
+		default:
+			m.pool.Put(tok) // walk is stopped, not enqueued
 		}
 	}
-
-	for r := 0; r < p.Rounds; r++ {
-		// Coin-flip step: start walks.
-		var dials int64
-		for v := int32(0); int(v) < n; v++ {
-			if nt.Failed[v] {
-				continue
-			}
-			rng := nt.RNG(v)
-			if rng.Bernoulli(p.WalkProb) {
-				u := g.RandomNeighbor(v, rng)
-				if u < 0 {
-					continue
-				}
-				tok := pool.Get()
-				tok.Payload.CopyFrom(tr.Row(v))
-				tok.Moves = 1
-				send(u, tok)
-				dials++
-			}
-		}
-		m.Open(dials)
-		m.Push(dials)
-		m.Step()
-
-		// Forwarding steps.
-		for t := 0; t < p.WalkSteps; t++ {
-			deliver()
-			var fdials int64
-			for v := int32(0); int(v) < n; v++ {
-				if nt.Failed[v] || queues[v].Empty() {
-					continue
-				}
-				tok := queues[v].Pop()
-				u := g.RandomNeighbor(v, nt.RNG(v))
-				if u < 0 {
-					pool.Put(tok)
-					continue
-				}
-				tok.Moves++
-				send(u, tok)
-				fdials++
-			}
-			m.Open(fdials)
-			m.Push(fdials)
-			m.Step()
-		}
-
-		// Walks pushed in the final step still arrive; then nodes holding
-		// walks become active and the remaining walks are discarded.
-		deliver()
-		for v := int32(0); int(v) < n; v++ {
-			if !queues[v].Empty() {
-				if !nt.Failed[v] {
-					active[v] = true
-				}
-				pool.PutAll(queues[v].Drain())
-			}
-		}
-
-		// Activation broadcast.
-		for t := 0; t < p.BroadcastSteps; t++ {
-			round.Reset()
-			par.For(n, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					if active[v] {
-						nt.Dial(round, int32(v))
-					}
-				}
-			})
-			round.BuildIncoming()
-			dials := countDials(round)
-			pushDeliver(nt, tr, round)
-			for v := int32(0); int(v) < n; v++ {
-				if round.InDegree(v) > 0 && !nt.Failed[v] {
-					active[v] = true
-				}
-			}
-			m.Open(dials)
-			m.Push(dials)
-			m.Step()
-		}
-
-		// All nodes become inactive.
-		for v := range active {
-			active[v] = false
-		}
-	}
-	return m
 }
 
-// fgFinalPushPull is Phase III: plain push–pull, run to completion
-// (§5: "the last phase of each algorithm was run until the entire graph
-// was informed"), capped by Phase3MaxSteps as a disconnection guard.
-func fgFinalPushPull(nt *phone.Net, tr *msg.Full, round *phone.Round, p FastGossipParams) phone.Meter {
-	var m phone.Meter
-	for m.Steps < p.Phase3MaxSteps && !tr.Complete() {
-		round.Reset()
-		nt.DialAll(round)
-		exchangeDeliver(nt, tr, round, &m)
+func (m *fgMachine) OnStepEnd(step int32) {}
+
+// FastGossipOver runs Algorithm 1's node machines on the given transport.
+// Under SyncTransport results are bit-identical to the historic substrate
+// loops: walk tokens pushed in a step are merged into their hosts within
+// that step (receivers in increasing id, senders in increasing id within
+// a receiver), which is exactly when the old loop's start-of-next-step
+// delivery pass observed them. Under Async the walks may interleave
+// differently but the completion semantics are unchanged.
+func FastGossipOver(nt *phone.Net, p FastGossipParams, tf TransportFactory) (*Result, *msg.Full) {
+	n := nt.G.N()
+	tr := msg.NewFull(n)
+	sh := &fgShared{nt: nt, tr: tr, p: p}
+	fms := make([]*fgMachine, n)
+	ms := make([]phone.Machine, n)
+	for v := 0; v < n; v++ {
+		fms[v] = &fgMachine{sh: sh, id: int32(v), pool: walk.NewPool(n)}
+		ms[v] = fms[v]
+	}
+	t := tf(ms)
+	defer t.Close()
+	res := &Result{Algorithm: "fast-gossiping", N: n, Leader: -1}
+
+	step := int32(0)
+	// trackedStep runs one push-delivery step under the tracker's
+	// round snapshot; walkStep runs one token step outside it (walk
+	// arrivals merge immediately, MergeNow-style).
+	trackedStep := func(mode fgMode, m *phone.Meter) {
+		sh.mode = mode
+		step++
+		tr.BeginRound()
+		tl := t.Step(step)
+		tr.EndRound()
+		if mode == fgPushPull {
+			exchangeTally(m, tl)
+		} else {
+			m.Open(tl.Opened)
+			m.Push(tl.Pushes)
+		}
 		m.Step()
 	}
-	return m
+	walkStep := func(mode fgMode, m *phone.Meter) {
+		sh.mode = mode
+		step++
+		tl := t.Step(step)
+		m.Open(tl.Opened)
+		m.Push(tl.Pushes)
+		m.Step()
+	}
+
+	// Phase I: distribution.
+	var mDist phone.Meter
+	for i := 0; i < p.DistributionSteps; i++ {
+		trackedStep(fgDistribute, &mDist)
+	}
+	res.addPhase("distribution", mDist)
+
+	// Phase II: random walks. Each round: a coin-flip step starts walks,
+	// WalkSteps forwarding steps move them, nodes still holding walks
+	// activate and seed a BroadcastSteps-step push broadcast in which
+	// receivers activate too, then everyone deactivates.
+	var mWalk phone.Meter
+	for r := 0; r < p.Rounds; r++ {
+		walkStep(fgCoinflip, &mWalk)
+		for i := 0; i < p.WalkSteps; i++ {
+			walkStep(fgForward, &mWalk)
+		}
+		// Walks pushed in the final step have arrived; nodes holding
+		// walks become active and the remaining walks are discarded.
+		for _, fm := range fms {
+			if !fm.queue.Empty() {
+				if !nt.Failed[fm.id] {
+					fm.active = true
+				}
+				fm.pool.PutAll(fm.queue.Drain())
+			}
+		}
+		for i := 0; i < p.BroadcastSteps; i++ {
+			trackedStep(fgActivate, &mWalk)
+			for _, fm := range fms {
+				if fm.gotPush && !nt.Failed[fm.id] {
+					fm.active = true
+				}
+				fm.gotPush = false
+			}
+		}
+		// All nodes become inactive.
+		for _, fm := range fms {
+			fm.active = false
+		}
+	}
+	res.addPhase("random-walks", mWalk)
+
+	// Phase III: plain push–pull, run to completion (§5: "the last phase
+	// of each algorithm was run until the entire graph was informed"),
+	// capped by Phase3MaxSteps as a disconnection guard.
+	var mFinal phone.Meter
+	for mFinal.Steps < p.Phase3MaxSteps && !tr.Complete() {
+		trackedStep(fgPushPull, &mFinal)
+	}
+	res.addPhase("broadcast", mFinal)
+
+	res.Completed = tr.Complete()
+	return res, tr
 }

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"gossip/internal/graph"
-	"gossip/internal/msg"
 	"gossip/internal/phone"
 )
 
@@ -75,10 +76,138 @@ type MedianCounterResult struct {
 	Opened        int64
 }
 
+// mcShared is the state all median-counter machines share: atomic
+// counters for the two global observations the driver needs (informed
+// players; players still transmitting, for the self-termination test).
+type mcShared struct {
+	nt           *phone.Net
+	p            MedianCounterParams
+	informed     atomic.Int64
+	transmitting atomic.Int64
+}
+
+// mcPayload is the rumor as transmitted: the sender's round-start state
+// and counter, which is all the median rule reads.
+type mcPayload struct {
+	state mcState
+	ctr   int32
+}
+
+// mcMachine is one median-counter player. State transitions run in
+// OnStepEnd, so OnOpen and OnReceive observe round-start state without
+// explicit snapshots; the per-round vote tallies live on the machine and
+// reset at the end of its own transition.
+type mcMachine struct {
+	sh      *mcShared
+	id      int32
+	state   mcState
+	ctr     int32 // B counter / C age
+	inState int32 // rounds spent in current state
+	// Per-round tallies of rumor receipts.
+	hiVotes int32 // from C players or B players with larger counter
+	loVotes int32 // from B players with counter <= own
+	fromC   int32 // receipts from C players only
+	anyRecv bool
+	// informedAt is the step the player learned the rumor (-1 never;
+	// 0 for the source).
+	informedAt int32
+	// pl is the outgoing payload buffer, refreshed each OnStep so
+	// push and pull share one allocation-free round-start snapshot.
+	pl mcPayload
+}
+
+func (m *mcMachine) transmitting() bool { return m.state == mcB || m.state == mcC }
+
+func (m *mcMachine) OnStep(step int32) (int32, any) {
+	m.pl = mcPayload{state: m.state, ctr: m.ctr}
+	if m.sh.nt.Failed[m.id] {
+		return phone.NoDial, nil
+	}
+	dial := m.sh.nt.G.RandomNeighbor(m.id, m.sh.nt.RNG(m.id))
+	var push any
+	if m.transmitting() {
+		push = &m.pl
+	}
+	return dial, push
+}
+
+func (m *mcMachine) OnOpen(from int32) any {
+	if m.transmitting() && !m.sh.nt.Failed[m.id] {
+		return &m.pl
+	}
+	return nil
+}
+
+func (m *mcMachine) OnReceive(from int32, payload any) {
+	if m.sh.nt.Failed[m.id] {
+		return
+	}
+	pl := payload.(*mcPayload)
+	m.anyRecv = true
+	switch {
+	case pl.state == mcC:
+		m.hiVotes++
+		m.fromC++
+	case pl.state == mcB && (m.state != mcB || pl.ctr >= m.ctr):
+		// Equal counters vote "hi" (Karp et al. use m' >= m): this is
+		// what lets a saturated population climb in lockstep instead of
+		// deadlocking at B_1.
+		m.hiVotes++
+	default:
+		m.loVotes++
+	}
+}
+
+func (m *mcMachine) OnStepEnd(step int32) {
+	switch m.state {
+	case mcA:
+		if m.anyRecv {
+			m.informedAt = step
+			m.sh.informed.Add(1)
+			if m.fromC > 0 && m.fromC == m.hiVotes+m.loVotes {
+				// Heard the rumor only from C players: join C.
+				m.state = mcC
+				m.ctr = 0
+			} else {
+				m.state = mcB
+				m.ctr = 1
+			}
+			m.inState = 0
+			m.sh.transmitting.Add(1)
+		}
+	case mcB:
+		m.inState++
+		if m.hiVotes > m.loVotes {
+			m.ctr++
+			m.inState = 0
+		}
+		if m.ctr > m.sh.p.CtrMax || m.inState > m.sh.p.CtrMax {
+			m.state = mcC
+			m.ctr = 0
+			m.inState = 0
+		}
+	case mcC:
+		m.ctr++
+		if m.ctr > m.sh.p.CtrMax {
+			m.state = mcD
+			m.sh.transmitting.Add(-1)
+		}
+	}
+	m.hiVotes, m.loVotes, m.fromC = 0, 0, 0
+	m.anyRecv = false
+}
+
 // MedianCounterBroadcast runs the median-counter push&pull protocol from
 // src on g. It returns when every informed player is in state D (self-
 // termination — the protocol's whole point) or when MaxSteps elapses.
 func MedianCounterBroadcast(g *graph.Graph, src int32, p MedianCounterParams, seed uint64) *MedianCounterResult {
+	return MedianCounterOver(g, src, p, seed, SyncTransport)
+}
+
+// MedianCounterOver runs the protocol's node machines on the given
+// transport; under SyncTransport results are bit-identical to the
+// historic substrate loop.
+func MedianCounterOver(g *graph.Graph, src int32, p MedianCounterParams, seed uint64, tf TransportFactory) *MedianCounterResult {
 	n := g.N()
 	if p.MaxSteps <= 0 {
 		p.MaxSteps = 64 * ceil(Logn(n))
@@ -86,119 +215,36 @@ func MedianCounterBroadcast(g *graph.Graph, src int32, p MedianCounterParams, se
 	if p.CtrMax <= 0 {
 		p.CtrMax = DefaultMedianCounterParams(n).CtrMax
 	}
-	nt := phone.NewNet(g, seed)
-	st := msg.NewSingle(n)
-	st.Inform(src, 0)
+	sh := &mcShared{nt: phone.NewNet(g, seed), p: p}
+	ms := make([]phone.Machine, n)
+	for v := 0; v < n; v++ {
+		ms[v] = &mcMachine{sh: sh, id: int32(v), informedAt: -1}
+	}
+	m := ms[src].(*mcMachine)
+	m.state = mcB
+	m.ctr = 1
+	m.informedAt = 0
+	sh.informed.Store(1)
+	sh.transmitting.Store(1)
 
-	state := make([]mcState, n)
-	ctr := make([]int32, n)     // B counter / C age
-	inState := make([]int32, n) // rounds spent in current state
-	state[src] = mcB
-	ctr[src] = 1
-
-	// Per-round tallies of rumor receipts, reset each round.
-	hiVotes := make([]int32, n) // from C players or B players with larger counter
-	loVotes := make([]int32, n) // from B players with counter <= own
-	fromC := make([]int32, n)   // receipts from C players only
-	anyRecv := make([]bool, n)
-
-	round := phone.NewRound(n)
+	t := tf(ms)
+	defer t.Close()
 	res := &MedianCounterResult{N: n}
 
-	transmitting := func(v int32) bool { return state[v] == mcB || state[v] == mcC }
-
-	for res.Steps < p.MaxSteps {
-		res.Steps++
-		round.Reset()
-		nt.DialAll(round)
-		for _, u := range round.Out {
-			if u >= 0 {
-				res.Opened++
-			}
-		}
-
-		// Snapshot sender states for this round.
-		// (States only change at the end of the round, so reading the live
-		// arrays during delivery is already snapshot-correct.)
-		deliver := func(from, to int32) {
-			res.Transmissions++
-			if nt.Failed[to] {
-				return
-			}
-			anyRecv[to] = true
-			switch {
-			case state[from] == mcC:
-				hiVotes[to]++
-				fromC[to]++
-			case state[from] == mcB && (state[to] != mcB || ctr[from] >= ctr[to]):
-				// Equal counters vote "hi" (Karp et al. use m' >= m): this
-				// is what lets a saturated population climb in lockstep
-				// instead of deadlocking at B_1.
-				hiVotes[to]++
-			default:
-				loVotes[to]++
-			}
-		}
-		for v := int32(0); int(v) < n; v++ {
-			u := round.Out[v]
-			if u < 0 {
-				continue
-			}
-			if transmitting(v) && !nt.Failed[v] {
-				deliver(v, u) // push
-			}
-			if transmitting(u) && !nt.Failed[u] {
-				deliver(u, v) // pull response
-			}
-		}
-
-		// State transitions (synchronous).
-		allDone := true
-		for v := int32(0); int(v) < n; v++ {
-			switch state[v] {
-			case mcA:
-				if anyRecv[v] {
-					st.Inform(v, int32(res.Steps))
-					if fromC[v] > 0 && fromC[v] == hiVotes[v]+loVotes[v] {
-						// Heard the rumor only from C players: join C.
-						state[v] = mcC
-						ctr[v] = 0
-					} else {
-						state[v] = mcB
-						ctr[v] = 1
-					}
-					inState[v] = 0
-				}
-			case mcB:
-				inState[v]++
-				if hiVotes[v] > loVotes[v] {
-					ctr[v]++
-					inState[v] = 0
-				}
-				if ctr[v] > p.CtrMax || inState[v] > p.CtrMax {
-					state[v] = mcC
-					ctr[v] = 0
-					inState[v] = 0
-				}
-			case mcC:
-				ctr[v]++
-				if ctr[v] > p.CtrMax {
-					state[v] = mcD
-				}
-			}
-			if transmitting(v) {
-				allDone = false
-			}
-			hiVotes[v], loVotes[v], fromC[v] = 0, 0, 0
-			anyRecv[v] = false
-		}
-		if allDone {
-			res.Quiesced = true
-			break
-		}
+	d := &Driver{
+		T:        t,
+		MaxSteps: p.MaxSteps,
+		Done:     func() bool { return sh.transmitting.Load() == 0 },
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			res.Opened += tl.Opened
+			res.Transmissions += tl.Pushes + tl.Responses
+			res.Steps++
+		},
 	}
+	d.Run()
 
-	res.Informed = st.Count()
-	res.Completed = st.Complete()
+	res.Quiesced = sh.transmitting.Load() == 0
+	res.Informed = int(sh.informed.Load())
+	res.Completed = res.Informed == n
 	return res
 }

@@ -43,6 +43,9 @@ func TestMedianCounterTransmissionsOnCompleteGraph(t *testing.T) {
 }
 
 func TestMedianCounterDensityInsensitiveAtSimulableScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: multi-density scan")
+	}
 	// Elsässer [19] proves the complete-graph O(n·loglog n) broadcast
 	// bound is asymptotically unreachable on random graphs of small or
 	// moderate degree. That separation lives in ω(·) territory: at

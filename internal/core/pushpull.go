@@ -3,7 +3,6 @@ package core
 import (
 	"gossip/internal/graph"
 	"gossip/internal/msg"
-	"gossip/internal/par"
 	"gossip/internal/phone"
 )
 
@@ -29,73 +28,51 @@ func PushPullTracked(g *graph.Graph, seed uint64, maxSteps int) (*Result, *msg.F
 // inject crash failures first. The completion predicate stays "every node
 // knows every message", so runs with failed nodes end at the cap.
 func PushPullOn(nt *phone.Net, maxSteps int) (*Result, *msg.Full) {
-	g := nt.G
-	n := g.N()
+	return PushPullOver(nt, maxSteps, SyncTransport)
+}
+
+// PushPullOver runs the baseline's node machines on the given transport.
+// Under SyncTransport results are bit-identical to PushPullOn's historic
+// substrate loop; under other transports the delivered state matches
+// while step-internal scheduling may differ.
+//
+// Meter conventions per step (see exchangeTally): every open channel is
+// one opening; a channel whose callee answered is one exchange; a channel
+// whose callee crashed carries a lone push.
+func PushPullOver(nt *phone.Net, maxSteps int, tf TransportFactory) (*Result, *msg.Full) {
+	n := nt.G.N()
 	if maxSteps <= 0 {
 		maxSteps = 64 * ceil(Logn(n))
 	}
 	tr := msg.NewFull(n)
-	round := phone.NewRound(n)
+	t := tf(exchangeMachines(nt, tr))
+	defer t.Close()
 	res := &Result{Algorithm: "push-pull", N: n, Leader: -1}
 	var m phone.Meter
 
-	for m.Steps < maxSteps && !tr.Complete() {
-		round.Reset()
-		nt.DialAll(round)
-		exchangeDeliver(nt, tr, round, &m)
-		m.Step()
+	d := &Driver{
+		T:          t,
+		MaxSteps:   maxSteps,
+		Done:       tr.Complete,
+		BeforeStep: func(int32) { tr.BeginRound() },
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			tr.EndRound()
+			exchangeTally(&m, tl)
+			m.Step()
+		},
 	}
+	d.Run()
 
 	res.Completed = tr.Complete()
 	res.addPhase("push-pull", m)
 	return res, tr
 }
 
-// exchangeDeliver performs one push–pull step over the current dial table:
-// every open channel carries a bidirectional exchange. Content respects
-// the failure mask (failed nodes never dial — the substrate guarantees
-// that — never store, and never answer), and the meter charges a full
-// exchange per channel with a healthy callee and a lone push per channel
-// whose callee crashed (the caller's packet is sent; no answer returns).
-func exchangeDeliver(nt *phone.Net, tr *msg.Full, round *phone.Round, m *phone.Meter) {
-	n := round.N()
-	var exchanges, halfExchanges int64
-	for _, u := range round.Out {
-		if u < 0 {
-			continue
-		}
-		if nt.Failed[u] {
-			halfExchanges++
-		} else {
-			exchanges++
-		}
-	}
-
-	tr.BeginRound()
-	// Push direction: every caller's packet lands at its (healthy) callee.
-	// Sharded by receiver, so all writes to one row come from one goroutine.
-	par.For(n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if nt.Failed[v] {
-				continue
-			}
-			for _, u := range round.Incoming(int32(v)) {
-				tr.Transfer(u, int32(v))
-			}
-		}
-	})
-	// Pull direction: each healthy callee's packet flows back to the
-	// caller (callers are never failed: failed nodes do not dial).
-	par.For(n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if u := round.Out[v]; u >= 0 && !nt.Failed[u] {
-				tr.Transfer(u, int32(v))
-			}
-		}
-	})
-	tr.EndRound()
-
-	m.Open(exchanges + halfExchanges)
-	m.Exchange(exchanges)
-	m.Push(halfExchanges)
+// exchangeTally maps a push–pull step's transport tally onto the meter:
+// the responded channels are full exchanges, the rest (crashed callees)
+// lone pushes.
+func exchangeTally(m *phone.Meter, tl phone.StepTally) {
+	m.Open(tl.Opened)
+	m.Exchange(tl.Responses)
+	m.Push(tl.Opened - tl.Responses)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"gossip/internal/graph"
 	"gossip/internal/msg"
-	"gossip/internal/par"
 	"gossip/internal/phone"
 	"gossip/internal/xrand"
 )
@@ -30,48 +29,40 @@ func (r *SampledResult) TransmissionsPerNode() float64 {
 // PushPull under the same seed; only the completion observation is
 // sampled.
 func PushPullSampled(g *graph.Graph, seed uint64, k, maxSteps int) *SampledResult {
+	return PushPullSampledOver(g, seed, k, maxSteps, SyncTransport)
+}
+
+// PushPullSampledOver runs the estimator's node machines on the given
+// transport. The estimator's meter is coarser than the exact baseline's:
+// every opened channel is charged as a full exchange (the sampled tracker
+// cannot observe which callees crashed, and the estimator targets
+// failure-free sweeps).
+func PushPullSampledOver(g *graph.Graph, seed uint64, k, maxSteps int, tf TransportFactory) *SampledResult {
 	n := g.N()
 	if maxSteps <= 0 {
 		maxSteps = 64 * ceil(Logn(n))
 	}
 	nt := phone.NewNet(g, seed)
 	tr := msg.NewSampled(n, k, xrand.SeedFor(seed, 0x5a3b1e))
-	round := phone.NewRound(n)
+	t := tf(exchangeMachines(nt, tr))
+	defer t.Close()
 	res := &SampledResult{N: n, K: tr.K()}
 	var m phone.Meter
 
-	for m.Steps < maxSteps && !tr.Complete() {
-		round.Reset()
-		nt.DialAll(round)
-		var dials int64
-		for _, u := range round.Out {
-			if u >= 0 {
-				dials++
-			}
-		}
-		tr.BeginRound()
-		par.For(n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if nt.Failed[v] {
-					continue
-				}
-				for _, u := range round.Incoming(int32(v)) {
-					tr.Transfer(u, int32(v))
-				}
-			}
-		})
-		par.For(n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if u := round.Out[v]; u >= 0 && !nt.Failed[u] {
-					tr.Transfer(u, int32(v))
-				}
-			}
-		})
-		tr.EndRound()
-		m.Open(dials)
-		m.Exchange(dials)
-		m.Step()
+	d := &Driver{
+		T:          t,
+		MaxSteps:   maxSteps,
+		Done:       tr.Complete,
+		BeforeStep: func(int32) { tr.BeginRound() },
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			tr.EndRound()
+			m.Open(tl.Opened)
+			m.Exchange(tl.Opened)
+			m.Step()
+		},
 	}
+	d.Run()
+
 	res.Steps = m.Steps
 	res.Completed = tr.Complete()
 	res.Meter = m

@@ -1,0 +1,397 @@
+// Package gossipd boots a cluster of gossip nodes over a real network
+// transport — the first networked step of the ROADMAP's "from simulator
+// to gossipd" item. Every node is a phone.Machine (the same push–pull
+// broadcast machine the simulator drives) behind its own loopback TCP
+// listener; a static peer table maps node ids to addresses. Each node
+// runs its own step loop: open a channel to a random peer (one TCP
+// request), push its rumor through it, and pull the peer's response —
+// the random phone call model's step, executed asynchronously per node
+// with no global round barrier.
+//
+// The cluster is one process today (the peer table, completion detection,
+// and the shared RNG substrate are in-memory), but the node loop and wire
+// exchange only see the Machine interface, addresses, and bytes — the
+// seam future multi-process work extends.
+package gossipd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/core"
+	"gossip/internal/graph"
+	"gossip/internal/phone"
+)
+
+// Config configures a Serve run.
+type Config struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// Payload is the rumor the source node (id 0) disseminates. Empty
+	// defaults to "hello, gossip".
+	Payload []byte
+	// Seed drives the per-node peer-choice streams.
+	Seed uint64
+	// MaxSteps caps each node's local step count (0 = 64·log₂ n).
+	MaxSteps int
+	// StepDelay is the pause between a node's steps (0 = 200µs — keeps
+	// the loopback cluster from busy-spinning while staying far faster
+	// than completion needs).
+	StepDelay time.Duration
+	// Timeout aborts a run that does not complete (0 = 30s).
+	Timeout time.Duration
+}
+
+// Report describes a finished Serve run.
+type Report struct {
+	N         int
+	Completed bool
+	// InformedAt[v] is the local step at which node v first held the
+	// rumor (0 for the source, -1 if never informed).
+	InformedAt []int32
+	// LocalSteps[v] is how many steps node v executed.
+	LocalSteps []int32
+	// Dials counts TCP channel openings across the cluster; WireBytes
+	// counts payload-carrying bytes moved through them.
+	Dials     int64
+	WireBytes int64
+	Elapsed   time.Duration
+}
+
+// Summary renders a one-line human summary.
+func (r *Report) Summary() string {
+	informed := 0
+	var maxStep int32
+	for v := range r.InformedAt {
+		if r.InformedAt[v] >= 0 {
+			informed++
+		}
+		if r.LocalSteps[v] > maxStep {
+			maxStep = r.LocalSteps[v]
+		}
+	}
+	status := "completed"
+	if !r.Completed {
+		status = "INCOMPLETE"
+	}
+	return fmt.Sprintf("push-pull broadcast %s: %d/%d nodes informed, max %d local steps, %d dials, %d wire bytes, %v",
+		status, informed, r.N, maxStep, r.Dials, r.WireBytes, r.Elapsed.Round(time.Millisecond))
+}
+
+// node is one cluster member: a machine behind a listener, stepped by its
+// own loop. The mutex serializes machine callbacks between the step loop
+// and the listener's request handlers.
+type node struct {
+	id      int32
+	m       phone.Machine
+	mu      sync.Mutex
+	ln      net.Listener
+	steps   atomic.Int32
+	stopped atomic.Bool
+}
+
+// cluster wires n nodes over loopback TCP with a static peer table.
+type cluster struct {
+	cfg   Config
+	set   *core.BroadcastSet
+	nodes []*node
+	peers []string // the static peer table: node id → address
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	srvWg sync.WaitGroup
+
+	dials     atomic.Int64
+	wireBytes atomic.Int64
+}
+
+// Serve boots the cluster, runs the push–pull broadcast of cfg.Payload
+// from node 0 to completion (or cfg.MaxSteps / cfg.Timeout), shuts the
+// nodes down, and reports per-node informed times.
+func Serve(cfg Config) (*Report, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gossipd: need at least 2 nodes, got %d", cfg.N)
+	}
+	if len(cfg.Payload) == 0 {
+		cfg.Payload = []byte("hello, gossip")
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 64 * ceilLog2(cfg.N)
+	}
+	if cfg.StepDelay <= 0 {
+		cfg.StepDelay = 200 * time.Microsecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+
+	nt := phone.NewNet(graph.Complete(cfg.N), cfg.Seed)
+	c := &cluster{
+		cfg:   cfg,
+		set:   core.NewBroadcastSet(nt, 0, core.PushAndPull, cfg.Payload),
+		nodes: make([]*node, cfg.N),
+		peers: make([]string, cfg.N),
+		stop:  make(chan struct{}),
+	}
+	for v := 0; v < cfg.N; v++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.shutdown()
+			return nil, fmt.Errorf("gossipd: node %d listen: %w", v, err)
+		}
+		c.nodes[v] = &node{id: int32(v), m: c.set.Machine(int32(v)), ln: ln}
+		c.peers[v] = ln.Addr().String()
+	}
+
+	start := time.Now()
+	for _, nd := range c.nodes {
+		c.srvWg.Add(1)
+		go c.serveNode(nd)
+		c.wg.Add(1)
+		go c.stepLoop(nd)
+	}
+
+	// Stop on completion, on every node hitting its step cap, or on the
+	// timeout guard.
+	allExited := make(chan struct{})
+	go func() { c.wg.Wait(); close(allExited) }()
+	deadline := time.NewTimer(cfg.Timeout)
+	defer deadline.Stop()
+	poll := time.NewTicker(time.Millisecond)
+	defer poll.Stop()
+wait:
+	for {
+		select {
+		case <-poll.C:
+			if c.set.Complete() {
+				break wait
+			}
+		case <-allExited:
+			break wait
+		case <-deadline.C:
+			break wait
+		}
+	}
+	c.shutdown()
+	c.wg.Wait()
+	c.srvWg.Wait()
+
+	rep := &Report{
+		N:          cfg.N,
+		Completed:  c.set.Complete(),
+		InformedAt: make([]int32, cfg.N),
+		LocalSteps: make([]int32, cfg.N),
+		Dials:      c.dials.Load(),
+		WireBytes:  c.wireBytes.Load(),
+		Elapsed:    time.Since(start),
+	}
+	for v := 0; v < cfg.N; v++ {
+		rep.InformedAt[v] = c.set.InformedAt(int32(v))
+		rep.LocalSteps[v] = c.nodes[v].steps.Load()
+	}
+	return rep, nil
+}
+
+func (c *cluster) shutdown() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	for _, nd := range c.nodes {
+		if nd != nil && nd.ln != nil {
+			nd.ln.Close()
+		}
+	}
+}
+
+// stepLoop is a node's life: one random phone call per local step.
+func (c *cluster) stepLoop(nd *node) {
+	defer c.wg.Done()
+	defer nd.stopped.Store(true)
+	for step := int32(1); int(step) <= c.cfg.MaxSteps; step++ {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		nd.steps.Store(step)
+		nd.mu.Lock()
+		dial, push := nd.m.OnStep(step)
+		nd.mu.Unlock()
+		if dial >= 0 {
+			c.dials.Add(1)
+			// The network I/O runs outside the machine lock, so this
+			// node keeps answering incoming calls while it waits.
+			resp, err := c.call(c.peers[dial], nd.id, push)
+			if err == nil && resp != nil {
+				nd.mu.Lock()
+				nd.m.OnReceive(dial, resp)
+				nd.mu.Unlock()
+			}
+		}
+		nd.mu.Lock()
+		nd.m.OnStepEnd(step)
+		nd.mu.Unlock()
+		time.Sleep(c.cfg.StepDelay)
+	}
+}
+
+// serveNode accepts incoming channels on the node's listener.
+func (c *cluster) serveNode(nd *node) {
+	defer c.srvWg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		c.srvWg.Add(1)
+		go func() {
+			defer c.srvWg.Done()
+			c.handle(nd, conn)
+		}()
+	}
+}
+
+// handle serves one incoming channel: deliver the caller's push, answer
+// with this node's pull response.
+func (c *cluster) handle(nd *node, conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	from, push, err := readRequest(conn)
+	if err != nil || from < 0 || int(from) >= c.cfg.N {
+		return
+	}
+	nd.mu.Lock()
+	if push != nil {
+		nd.m.OnReceive(from, push)
+	}
+	resp := nd.m.OnOpen(from)
+	nd.mu.Unlock()
+	var respBytes []byte
+	if resp != nil {
+		respBytes = resp.([]byte)
+	}
+	if err := writeResponse(conn, respBytes); err == nil {
+		c.wireBytes.Add(int64(len(respBytes)))
+	}
+}
+
+// call opens a channel to addr: send our push (if any), pull the response.
+func (c *cluster) call(addr string, from int32, push any) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	var pushBytes []byte
+	if push != nil {
+		pushBytes = push.([]byte)
+	}
+	if err := writeRequest(conn, from, pushBytes); err != nil {
+		return nil, err
+	}
+	c.wireBytes.Add(int64(len(pushBytes)))
+	return readResponse(conn)
+}
+
+// Wire format. Request: u32 caller id, u8 has-push, [u32 len, bytes].
+// Response: u8 has-resp, [u32 len, bytes]. All big-endian; payloads are
+// capped defensively (the rumor is application data, not a stream).
+const maxPayload = 1 << 20
+
+func writeRequest(w io.Writer, from int32, push []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(from))
+	if push != nil {
+		hdr[4] = 1
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if push == nil {
+		return nil
+	}
+	return writeChunk(w, push)
+}
+
+func readRequest(r io.Reader) (from int32, push []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	from = int32(binary.BigEndian.Uint32(hdr[:4]))
+	if hdr[4] == 0 {
+		return from, nil, nil
+	}
+	push, err = readChunk(r)
+	return from, push, err
+}
+
+func writeResponse(w io.Writer, resp []byte) error {
+	var flag [1]byte
+	if resp != nil {
+		flag[0] = 1
+	}
+	if _, err := w.Write(flag[:]); err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return writeChunk(w, resp)
+}
+
+func readResponse(r io.Reader) ([]byte, error) {
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, err
+	}
+	if flag[0] == 0 {
+		return nil, nil
+	}
+	return readChunk(r)
+}
+
+func writeChunk(w io.Writer, b []byte) error {
+	var sz [4]byte
+	binary.BigEndian.PutUint32(sz[:], uint32(len(b)))
+	if _, err := w.Write(sz[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readChunk(r io.Reader) ([]byte, error) {
+	var sz [4]byte
+	if _, err := io.ReadFull(r, sz[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(sz[:])
+	if n > maxPayload {
+		return nil, errors.New("gossipd: oversized payload")
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for p := 1; p < n; p *= 2 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

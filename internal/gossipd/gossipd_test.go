@@ -1,0 +1,100 @@
+package gossipd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeBroadcastCompletes boots a small loopback cluster and checks
+// the rumor reaches every node byte-for-byte.
+func TestServeBroadcastCompletes(t *testing.T) {
+	payload := []byte("the rumor, end to end")
+	rep, err := Serve(Config{
+		N:         8,
+		Payload:   payload,
+		Seed:      7,
+		StepDelay: 50 * time.Microsecond,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !rep.Completed {
+		t.Fatalf("broadcast did not complete: %s", rep.Summary())
+	}
+	if rep.InformedAt[0] != 0 {
+		t.Fatalf("source informed at %d, want 0", rep.InformedAt[0])
+	}
+	for v := 1; v < rep.N; v++ {
+		if rep.InformedAt[v] <= 0 {
+			t.Fatalf("node %d informed at %d, want > 0", v, rep.InformedAt[v])
+		}
+	}
+	if rep.Dials == 0 || rep.WireBytes < int64(len(payload)) {
+		t.Fatalf("implausible traffic: %s", rep.Summary())
+	}
+	if s := rep.Summary(); !strings.Contains(s, "completed") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestServeRejectsTinyCluster(t *testing.T) {
+	if _, err := Serve(Config{N: 1}); err == nil {
+		t.Fatal("Serve accepted a 1-node cluster")
+	}
+}
+
+// TestWireRoundTrip pins the frame format both directions, including
+// nil-vs-present payload flags.
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeRequest(&buf, 42, []byte("push!")); err != nil {
+		t.Fatal(err)
+	}
+	from, push, err := readRequest(&buf)
+	if err != nil || from != 42 || string(push) != "push!" {
+		t.Fatalf("request round trip: from=%d push=%q err=%v", from, push, err)
+	}
+
+	buf.Reset()
+	if err := writeRequest(&buf, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	from, push, err = readRequest(&buf)
+	if err != nil || from != 7 || push != nil {
+		t.Fatalf("nil-push round trip: from=%d push=%v err=%v", from, push, err)
+	}
+
+	buf.Reset()
+	if err := writeResponse(&buf, []byte("resp")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readResponse(&buf)
+	if err != nil || string(resp) != "resp" {
+		t.Fatalf("response round trip: %q err=%v", resp, err)
+	}
+
+	buf.Reset()
+	if err := writeResponse(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = readResponse(&buf)
+	if err != nil || resp != nil {
+		t.Fatalf("nil-response round trip: %v err=%v", resp, err)
+	}
+}
+
+// TestWireRejectsOversized checks the defensive payload cap.
+func TestWireRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	var sz [4]byte
+	binary.BigEndian.PutUint32(sz[:], maxPayload+1)
+	buf.Write(sz[:])
+	if _, err := readResponse(&buf); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package phone
+
+// Async is an asynchronous in-process transport: one persistent goroutine
+// per node, with payloads delivered through per-node channels. Logical
+// steps are still synchronized — a coordinator releases the workers phase
+// by phase (dial, exchange, end-of-step) and waits for all of them at a
+// barrier — but within a phase every node runs concurrently and messages
+// genuinely travel through channels, so delivery order within a receiver
+// is scheduling-dependent. Protocols whose receipt handling is
+// commutative (set unions, vote counters, idempotent informs — all of
+// internal/core's machines) produce the same delivered state as under
+// Sync; walk-forwarding machines may route walks differently but keep the
+// same completion semantics.
+//
+// Every callback of one machine runs on that node's goroutine, so unlike
+// Sync no read-only discipline is needed beyond what Machine documents.
+type Async struct {
+	ms    []Machine
+	round *Round
+	push  []any
+	inbox []chan envelope // per-step, capacity = in-degree
+	reply []chan any      // capacity 1: the pull response to node v's call
+	cmd   []chan asyncPhase
+	done  chan struct{}
+	step  int32
+	// respGot[v] is set by worker v when its call pulled a response.
+	respGot []bool
+	closed  bool
+}
+
+type envelope struct {
+	from    int32
+	payload any
+}
+
+type asyncPhase uint8
+
+const (
+	phaseDial asyncPhase = iota
+	phaseExchange
+	phaseEnd
+)
+
+// NewAsync returns an asynchronous transport over the machines, starting
+// one goroutine per node. Callers must Close it to stop the goroutines.
+func NewAsync(ms []Machine) *Async {
+	n := len(ms)
+	a := &Async{
+		ms:      ms,
+		round:   NewRound(n),
+		push:    make([]any, n),
+		inbox:   make([]chan envelope, n),
+		reply:   make([]chan any, n),
+		cmd:     make([]chan asyncPhase, n),
+		done:    make(chan struct{}, n),
+		respGot: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		a.reply[v] = make(chan any, 1)
+		a.cmd[v] = make(chan asyncPhase)
+		go a.worker(int32(v))
+	}
+	return a
+}
+
+// N returns the number of nodes.
+func (a *Async) N() int { return len(a.ms) }
+
+func (a *Async) worker(v int32) {
+	m := a.ms[v]
+	for ph := range a.cmd[v] {
+		switch ph {
+		case phaseDial:
+			dial, push := m.OnStep(a.step)
+			a.round.Out[v] = dial
+			a.push[v] = push
+		case phaseExchange:
+			// Call out: one envelope per open channel, push payload
+			// included (possibly nil — the channel itself requests a
+			// response). Inboxes hold exactly the step's in-degree, so
+			// sends never block.
+			u := a.round.Out[v]
+			if u >= 0 {
+				a.inbox[u] <- envelope{from: v, payload: a.push[v]}
+			}
+			// Serve exactly the incoming channels of this step.
+			for i := a.round.InDegree(v); i > 0; i-- {
+				e := <-a.inbox[v]
+				if e.payload != nil {
+					m.OnReceive(e.from, e.payload)
+				}
+				a.reply[e.from] <- m.OnOpen(e.from)
+			}
+			// Collect the response to the node's own call.
+			if u >= 0 {
+				if r := <-a.reply[v]; r != nil {
+					a.respGot[v] = true
+					m.OnReceive(u, r)
+				}
+			}
+		case phaseEnd:
+			m.OnStepEnd(a.step)
+		}
+		a.done <- struct{}{}
+	}
+}
+
+func (a *Async) barrier(ph asyncPhase) {
+	for _, c := range a.cmd {
+		c <- ph
+	}
+	for range a.cmd {
+		<-a.done
+	}
+}
+
+// Step runs one logical step across all node goroutines.
+func (a *Async) Step(step int32) StepTally {
+	a.step = step
+	a.round.Reset()
+	a.barrier(phaseDial)
+	a.round.BuildIncoming()
+	for v := range a.inbox {
+		a.inbox[v] = make(chan envelope, a.round.InDegree(int32(v)))
+		a.respGot[v] = false
+	}
+	a.barrier(phaseExchange)
+	a.barrier(phaseEnd)
+
+	var t StepTally
+	for v, u := range a.round.Out {
+		if u >= 0 {
+			t.Opened++
+			if a.push[v] != nil {
+				t.Pushes++
+			}
+		}
+		if a.respGot[v] {
+			t.Responses++
+		}
+	}
+	return t
+}
+
+// Close stops the node goroutines. The transport is unusable afterwards.
+func (a *Async) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	for _, c := range a.cmd {
+		close(c)
+	}
+	return nil
+}

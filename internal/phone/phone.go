@@ -4,10 +4,24 @@
 // A simulation proceeds in synchronous steps. In each step every node may
 // open a channel to one neighbor — uniformly random, or uniformly random
 // avoiding a short list of remembered links (the §4 memory model). The
-// package provides the per-round dial table with an inverted incoming-
-// channel index, the bounded link memory used by open-avoid, and the
-// transmission meter whose counting conventions are spelled out in
-// DESIGN.md. The algorithms themselves live in internal/core.
+// package provides two layers:
+//
+//   - The substrate: the per-round dial table with an inverted incoming-
+//     channel index (Round), the per-node RNG streams and failure mask
+//     (Net), the bounded link memory used by open-avoid (LinkMemory), and
+//     the transmission meter whose counting conventions are spelled out
+//     in DESIGN.md (Meter). Algorithms that need full control of a step
+//     (the §4 memory model's long-steps) drive this layer directly.
+//
+//   - The transport seam: per-node protocol state machines (Machine)
+//     executed by a pluggable Transport — Sync, the canonical in-memory
+//     implementation whose delivery order makes runs bit-identical to
+//     the substrate loops it replaced, and Async, a goroutine-per-node
+//     transport with channel-based delivery that proves the protocol
+//     code is transport-independent. internal/gossipd drives the same
+//     machines over loopback TCP.
+//
+// The algorithms themselves live in internal/core.
 package phone
 
 import (
@@ -27,6 +41,7 @@ type Round struct {
 	Out    []int32
 	inOff  []int32 // len n+1 after BuildIncoming
 	inFlat []int32
+	cursor []int32 // counting-sort scratch, reused across steps
 	built  bool
 }
 
@@ -36,6 +51,7 @@ func NewRound(n int) *Round {
 		Out:    make([]int32, n),
 		inOff:  make([]int32, n+1),
 		inFlat: make([]int32, n),
+		cursor: make([]int32, n),
 	}
 	for i := range r.Out {
 		r.Out[i] = NoDial
@@ -70,11 +86,13 @@ func (r *Round) BuildIncoming() {
 	for i := 0; i < n; i++ {
 		r.inOff[i+1] += r.inOff[i]
 	}
-	cursor := make([]int32, n)
+	for i := range r.cursor {
+		r.cursor[i] = 0
+	}
 	for v, u := range r.Out {
 		if u >= 0 {
-			r.inFlat[r.inOff[u]+cursor[u]] = int32(v)
-			cursor[u]++
+			r.inFlat[r.inOff[u]+r.cursor[u]] = int32(v)
+			r.cursor[u]++
 		}
 	}
 	r.built = true

@@ -1,0 +1,159 @@
+package phone
+
+import "gossip/internal/par"
+
+// Machine is a per-node protocol state machine in the random phone call
+// model. A Transport executes the same logical step for every machine:
+//
+//  1. OnStep: the node decides which neighbor to dial (NoDial keeps its
+//     channel closed) and which payload, if any, to push through the
+//     channel it opens. All per-step randomness is drawn here, from the
+//     node's private stream, so the dial phase parallelizes without
+//     changing results.
+//  2. OnReceive (push direction): the node receives every payload pushed
+//     through an incoming channel, callers in increasing id order.
+//  3. OnOpen: for every incoming channel, the node may answer with a
+//     response payload (the pull direction); nil sends nothing. OnOpen
+//     must be read-only — transports may invoke it concurrently with
+//     other nodes' OnOpen and must see round-start state, so protocols
+//     defer state changes to OnStepEnd or use snapshot predicates.
+//  4. OnReceive (pull direction): the caller receives the response.
+//  5. OnStepEnd: synchronous end-of-step transitions.
+//
+// A machine is only ever mutated through its own callbacks; machines
+// communicate exclusively via payloads and explicitly-shared state that
+// is safe under the concurrency each callback documents (e.g. the
+// receiver-sharded trackers of internal/msg).
+type Machine interface {
+	// OnStep opens the node's channel for this step: the callee id (or
+	// NoDial) and the payload pushed through the channel (nil pushes
+	// nothing; the channel still opens and may pull a response).
+	OnStep(step int32) (dial int32, push any)
+	// OnOpen answers an incoming channel from the given caller with a
+	// response payload, or nil. It must not mutate machine state.
+	OnOpen(from int32) any
+	// OnReceive delivers a payload: a push from a caller, or a response
+	// from the node's own callee.
+	OnReceive(from int32, payload any)
+	// OnStepEnd runs the node's synchronous end-of-step transition.
+	OnStepEnd(step int32)
+}
+
+// StepTally is a Transport's accounting of one step, in protocol-neutral
+// terms; algorithm drivers map it onto Meter conventions (an exchange is
+// a channel that carried both a push and a response).
+type StepTally struct {
+	Opened    int64 // channels opened
+	Pushes    int64 // non-nil push payloads sent
+	Responses int64 // non-nil response payloads sent
+}
+
+// Transport executes machine steps. Step runs one full logical step for
+// all machines and reports its tally; Close releases transport resources
+// (goroutines, listeners). Transports are not safe for concurrent Step
+// calls.
+type Transport interface {
+	N() int
+	Step(step int32) StepTally
+	Close() error
+}
+
+// Sync is the canonical in-memory transport: a synchronous shared-memory
+// round built on Round's dial table. Its delivery order is the fixed
+// order the pre-seam simulator loops used — pushes delivered to receivers
+// in increasing receiver id with callers in increasing caller id, then
+// responses computed and delivered in increasing caller id — so any
+// protocol whose per-node randomness comes from Net's private streams
+// produces bit-identical results to those loops.
+type Sync struct {
+	ms    []Machine
+	round *Round
+	push  []any
+	resp  []any
+}
+
+// NewSync returns a synchronous in-memory transport over the machines.
+func NewSync(ms []Machine) *Sync {
+	n := len(ms)
+	return &Sync{
+		ms:    ms,
+		round: NewRound(n),
+		push:  make([]any, n),
+		resp:  make([]any, n),
+	}
+}
+
+// N returns the number of nodes.
+func (s *Sync) N() int { return len(s.ms) }
+
+// Step runs one synchronous step: parallel dial, push delivery sharded by
+// receiver, read-only response computation, response delivery sharded by
+// caller, then end-of-step transitions. The phases are separated so no
+// machine is ever read and written concurrently.
+func (s *Sync) Step(step int32) StepTally {
+	n := len(s.ms)
+	s.round.Reset()
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			dial, push := s.ms[v].OnStep(step)
+			s.round.Out[v] = dial
+			s.push[v] = push
+		}
+	})
+	s.round.BuildIncoming()
+
+	var t StepTally
+	for v, u := range s.round.Out {
+		if u >= 0 {
+			t.Opened++
+			if s.push[v] != nil {
+				t.Pushes++
+			}
+		}
+	}
+
+	// Push direction.
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for _, u := range s.round.Incoming(int32(v)) {
+				if p := s.push[u]; p != nil {
+					s.ms[v].OnReceive(u, p)
+				}
+			}
+		}
+	})
+	// Pull direction: compute every response first (OnOpen is read-only,
+	// so concurrent calls into one callee are safe), then deliver sharded
+	// by caller.
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if u := s.round.Out[v]; u >= 0 {
+				s.resp[v] = s.ms[u].OnOpen(int32(v))
+			} else {
+				s.resp[v] = nil
+			}
+		}
+	})
+	for _, r := range s.resp {
+		if r != nil {
+			t.Responses++
+		}
+	}
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if r := s.resp[v]; r != nil {
+				s.ms[v].OnReceive(s.round.Out[v], r)
+				s.resp[v] = nil
+			}
+		}
+	})
+	par.For(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s.ms[v].OnStepEnd(step)
+		}
+	})
+	return t
+}
+
+// Close is a no-op for the in-memory transport.
+func (s *Sync) Close() error { return nil }

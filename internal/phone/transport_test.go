@@ -1,0 +1,269 @@
+package phone
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+// TestBuildIncomingZeroAlloc pins the Round doc promise: a reused Round
+// allocates nothing per step (the counting-sort cursor lives on the
+// Round).
+func TestBuildIncomingZeroAlloc(t *testing.T) {
+	const n = 1024
+	r := NewRound(n)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset()
+		for v := 0; v < n; v++ {
+			r.Out[v] = int32((v*7 + 3) % n)
+		}
+		r.BuildIncoming()
+	})
+	if allocs != 0 {
+		t.Fatalf("Round step allocated %v times per run, want 0", allocs)
+	}
+}
+
+// scriptMachine is a fully deterministic machine for transport tests:
+// fixed dial targets, integer payloads, and a log of every receipt.
+type scriptMachine struct {
+	id   int32
+	n    int32
+	dial func(id, step int32) int32
+	// push and open payloads; nil funcs send nothing.
+	push func(id, step int32) any
+	open func(id, from int32) any
+
+	recvFrom []int32
+	recvSum  int64
+	steps    []int32
+	ends     []int32
+}
+
+func (m *scriptMachine) OnStep(step int32) (int32, any) {
+	m.steps = append(m.steps, step)
+	d := m.dial(m.id, step)
+	var p any
+	if m.push != nil {
+		p = m.push(m.id, step)
+	}
+	return d, p
+}
+
+func (m *scriptMachine) OnOpen(from int32) any {
+	if m.open == nil {
+		return nil
+	}
+	return m.open(m.id, from)
+}
+
+func (m *scriptMachine) OnReceive(from int32, payload any) {
+	m.recvFrom = append(m.recvFrom, from)
+	m.recvSum += int64(payload.(int))
+}
+
+func (m *scriptMachine) OnStepEnd(step int32) { m.ends = append(m.ends, step) }
+
+func scriptMachines(n int, dial func(id, step int32) int32, push func(id, step int32) any, open func(id, from int32) any) ([]Machine, []*scriptMachine) {
+	ms := make([]Machine, n)
+	sms := make([]*scriptMachine, n)
+	for v := 0; v < n; v++ {
+		sms[v] = &scriptMachine{id: int32(v), n: int32(n), dial: dial, push: push, open: open}
+		ms[v] = sms[v]
+	}
+	return ms, sms
+}
+
+// TestSyncStepPhases checks the synchronous transport against a scripted
+// all-dial ring: tally fields, caller-order push delivery, and response
+// delivery back to every caller.
+func TestSyncStepPhases(t *testing.T) {
+	const n = 8
+	dial := func(id, step int32) int32 { return (id + 1) % n }
+	push := func(id, step int32) any { return int(1) }
+	open := func(id, from int32) any { return int(100) }
+	ms, sms := scriptMachines(n, dial, push, open)
+	tr := NewSync(ms)
+	defer tr.Close()
+
+	tl := tr.Step(1)
+	if tl.Opened != n || tl.Pushes != n || tl.Responses != n {
+		t.Fatalf("tally = %+v, want Opened=Pushes=Responses=%d", tl, n)
+	}
+	for v, m := range sms {
+		// Each node receives one push from its predecessor and one
+		// response from its callee.
+		wantPush := (int32(v) - 1 + n) % n
+		wantResp := (int32(v) + 1) % n
+		if len(m.recvFrom) != 2 || m.recvFrom[0] != wantPush || m.recvFrom[1] != wantResp {
+			t.Fatalf("node %d receipts = %v, want [%d %d]", v, m.recvFrom, wantPush, wantResp)
+		}
+		if m.recvSum != 101 {
+			t.Fatalf("node %d sum = %d, want 101", v, m.recvSum)
+		}
+		if len(m.ends) != 1 || m.ends[0] != 1 {
+			t.Fatalf("node %d OnStepEnd calls = %v", v, m.ends)
+		}
+	}
+}
+
+// TestSyncIncomingCallerOrder pins the push delivery order the bit-
+// identity argument rests on: callers of one receiver arrive in
+// increasing caller id.
+func TestSyncIncomingCallerOrder(t *testing.T) {
+	const n = 16
+	// Everyone dials node 0.
+	dial := func(id, step int32) int32 { return 0 }
+	push := func(id, step int32) any { return int(id) }
+	ms, sms := scriptMachines(n, dial, push, nil)
+	tr := NewSync(ms)
+	defer tr.Close()
+	tr.Step(1)
+
+	got := sms[0].recvFrom
+	if len(got) != n {
+		t.Fatalf("node 0 received %d pushes, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("callers out of order at %d: %v", i, got)
+		}
+	}
+}
+
+// TestSyncNoDialNoPayload checks closed channels carry nothing and nil
+// pushes still pull responses.
+func TestSyncNoDialNoPayload(t *testing.T) {
+	const n = 4
+	// Only node 1 dials (to node 2), with no push payload.
+	dial := func(id, step int32) int32 {
+		if id == 1 {
+			return 2
+		}
+		return NoDial
+	}
+	open := func(id, from int32) any { return int(7) }
+	ms, sms := scriptMachines(n, dial, nil, open)
+	tr := NewSync(ms)
+	defer tr.Close()
+
+	tl := tr.Step(1)
+	if tl.Opened != 1 || tl.Pushes != 0 || tl.Responses != 1 {
+		t.Fatalf("tally = %+v, want {1 0 1}", tl)
+	}
+	if len(sms[2].recvFrom) != 0 {
+		t.Fatalf("callee received a payload from a nil push: %v", sms[2].recvFrom)
+	}
+	if len(sms[1].recvFrom) != 1 || sms[1].recvFrom[0] != 2 || sms[1].recvSum != 7 {
+		t.Fatalf("caller pull = from %v sum %d, want from [2] sum 7", sms[1].recvFrom, sms[1].recvSum)
+	}
+}
+
+// TestAsyncMatchesSyncScripted runs the same scripted machines under both
+// transports and requires identical tallies and identical per-node
+// receipt multisets (async delivery order within a node may differ).
+func TestAsyncMatchesSyncScripted(t *testing.T) {
+	const n = 32
+	const steps = 5
+	dial := func(id, step int32) int32 { return (id*7 + step*3) % n }
+	push := func(id, step int32) any { return int(id + 1000*step) }
+	open := func(id, from int32) any { return int(-(id + 1)) }
+
+	run := func(mk func([]Machine) Transport) ([]StepTally, []*scriptMachine) {
+		ms, sms := scriptMachines(n, dial, push, open)
+		tr := mk(ms)
+		defer tr.Close()
+		var tallies []StepTally
+		for s := int32(1); s <= steps; s++ {
+			tallies = append(tallies, tr.Step(s))
+		}
+		return tallies, sms
+	}
+
+	syncT, syncM := run(func(ms []Machine) Transport { return NewSync(ms) })
+	asyncT, asyncM := run(func(ms []Machine) Transport { return NewAsync(ms) })
+
+	for i := range syncT {
+		if syncT[i] != asyncT[i] {
+			t.Fatalf("step %d tally: sync %+v async %+v", i+1, syncT[i], asyncT[i])
+		}
+	}
+	for v := range syncM {
+		if syncM[v].recvSum != asyncM[v].recvSum {
+			t.Fatalf("node %d receipt sum: sync %d async %d", v, syncM[v].recvSum, asyncM[v].recvSum)
+		}
+		if len(syncM[v].recvFrom) != len(asyncM[v].recvFrom) {
+			t.Fatalf("node %d receipt count: sync %d async %d",
+				v, len(syncM[v].recvFrom), len(asyncM[v].recvFrom))
+		}
+	}
+}
+
+// TestAsyncCloseIdempotent checks Close can be called repeatedly and the
+// transport shuts its goroutines down.
+func TestAsyncCloseIdempotent(t *testing.T) {
+	ms, _ := scriptMachines(4, func(id, step int32) int32 { return NoDial }, nil, nil)
+	tr := NewAsync(ms)
+	tr.Step(1)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestTransportsOverNet smoke-checks that machines drawing from a Net's
+// per-node streams dial identically under both transports (the dial phase
+// is the only randomized phase).
+func TestTransportsOverNet(t *testing.T) {
+	const n = 64
+	g := graph.Complete(n)
+
+	type dialRec struct{ dials [][]int32 }
+	mkMachines := func(nt *Net, rec *dialRec) []Machine {
+		ms := make([]Machine, n)
+		for v := 0; v < n; v++ {
+			v := int32(v)
+			ms[v] = &funcMachine{onStep: func(step int32) (int32, any) {
+				d := nt.G.RandomNeighbor(v, nt.RNG(v))
+				rec.dials[v] = append(rec.dials[v], d)
+				return d, nil
+			}}
+		}
+		return ms
+	}
+
+	var recS, recA dialRec
+	recS.dials = make([][]int32, n)
+	recA.dials = make([][]int32, n)
+
+	ts := NewSync(mkMachines(NewNet(g, 42), &recS))
+	ta := NewAsync(mkMachines(NewNet(g, 42), &recA))
+	defer ts.Close()
+	defer ta.Close()
+	for s := int32(1); s <= 4; s++ {
+		ts.Step(s)
+		ta.Step(s)
+	}
+	for v := 0; v < n; v++ {
+		if len(recS.dials[v]) != len(recA.dials[v]) {
+			t.Fatalf("node %d dial counts differ", v)
+		}
+		for i := range recS.dials[v] {
+			if recS.dials[v][i] != recA.dials[v][i] {
+				t.Fatalf("node %d dial %d: sync %d async %d", v, i, recS.dials[v][i], recA.dials[v][i])
+			}
+		}
+	}
+}
+
+// funcMachine adapts a bare OnStep closure to the Machine interface.
+type funcMachine struct {
+	onStep func(step int32) (int32, any)
+}
+
+func (m *funcMachine) OnStep(step int32) (int32, any) { return m.onStep(step) }
+func (m *funcMachine) OnOpen(from int32) any          { return nil }
+func (m *funcMachine) OnReceive(from int32, p any)    {}
+func (m *funcMachine) OnStepEnd(step int32)           {}

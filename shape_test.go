@@ -34,6 +34,9 @@ func sweepMsgsPerNode(t *testing.T, sizes []int, run func(n int, seed uint64) *R
 var shapeSizes = []int{1024, 2048, 4096, 8192}
 
 func TestShapePushPullGrowsLikeLogN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: multi-size shape sweep")
+	}
 	// Figure 1: the baseline's messages/node equal its round count, which
 	// grows ~log n. Slope in log₂n close to 1.
 	fit := sweepMsgsPerNode(t, shapeSizes, func(n int, seed uint64) *Result {
@@ -56,6 +59,9 @@ func TestShapeMemoryFlat(t *testing.T) {
 }
 
 func TestShapeFastGossipBetweenBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: multi-size shape sweep")
+	}
 	// Figure 1: FastGossiping grows slower than the baseline (the gap
 	// widens with n).
 	pp := sweepMsgsPerNode(t, shapeSizes, func(n int, seed uint64) *Result {
@@ -70,6 +76,9 @@ func TestShapeFastGossipBetweenBaselines(t *testing.T) {
 }
 
 func TestShapeGossipDensityInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: multi-size shape sweep")
+	}
 	// The title claim: at fixed n, messages/node of gossiping barely move
 	// across an 8x density range (d = log^1.5 n … log^3 n).
 	n := 4096
@@ -115,6 +124,9 @@ func TestShapeBroadcastPushTransmissionsTrackNLogN(t *testing.T) {
 }
 
 func TestShapeMedianCounterTracksLogLogN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: multi-size shape sweep")
+	}
 	// Karp et al.: transmissions/node = Θ(loglog n) — across a 64x size
 	// range the per-node cost divided by loglog n stays within a narrow
 	// constant band.
