@@ -17,6 +17,7 @@ import (
 //	gossipsim archive -dir corpus -add run1 -add run2
 //	gossipsim archive -dir corpus -add run -rev abc123
 //	gossipsim archive -dir corpus -algo sampled -n 1048576
+//	gossipsim archive -dir corpus -json            # the GET /runs bytes
 func archiveMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim archive", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -28,6 +29,7 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "", "list only runs containing this graph model")
 	n := fs.Int("n", 0, "list only runs containing this graph size")
 	density := fs.Float64("density", 0, "list only runs containing this density factor")
+	jsonOut := fs.Bool("json", false, "emit the listing as JSON — the same bytes corpusd's GET /runs answers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -36,6 +38,12 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	decisions := stdout
+	if *jsonOut {
+		// JSON mode keeps stdout machine-readable: exactly one JSON
+		// document, with import decisions and damage warnings on stderr.
+		decisions = stderr
 	}
 	for _, src := range adds {
 		run, err := gossip.OpenCorpusRun(src)
@@ -57,15 +65,35 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 		// reported either way.
 		switch {
 		case a.Added && a.Prev != nil:
-			fmt.Fprintf(stdout, "imported %s as %s (%s); previous generation %s (%s)\n",
+			fmt.Fprintf(decisions, "imported %s as %s (%s); previous generation %s (%s)\n",
 				src, a.Run.Label(), provenance(a.Run.Manifest), a.Prev.Gen, provenance(a.Prev.Manifest))
 		case a.Added:
-			fmt.Fprintf(stdout, "imported %s as %s (%s); first generation\n",
+			fmt.Fprintf(decisions, "imported %s as %s (%s); first generation\n",
 				src, a.Run.Label(), provenance(a.Run.Manifest))
 		default:
-			fmt.Fprintf(stdout, "deduped %s: bit-identical to %s (%s); incoming (%s) not stored\n",
+			fmt.Fprintf(decisions, "deduped %s: bit-identical to %s (%s); incoming (%s) not stored\n",
 				src, a.Run.Label(), provenance(a.Run.Manifest), provenance(a.Incoming))
 		}
+	}
+
+	f := gossip.CorpusFilter{Algo: *algo, Model: *model, N: *n, Density: *density}
+	if *jsonOut {
+		// The full-scan listing in the corpus's shared JSON shape —
+		// byte-identical to the index-backed GET /runs for the same
+		// filter (the equivalence the index tests pin).
+		sums, damaged, err := store.Summaries(f)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		for _, d := range damaged {
+			fmt.Fprintf(stderr, "skipping unreadable entry %s: %v\n", d.Dir, d.Err)
+		}
+		if err := gossip.WriteCorpusJSON(stdout, sums); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	// One store scan serves the whole listing: Runs yields the latest
@@ -76,7 +104,6 @@ func archiveMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	f := gossip.CorpusFilter{Algo: *algo, Model: *model, N: *n, Density: *density}
 	var runs []*gossip.CorpusRun
 	for _, r := range all {
 		if f.MatchRun(r.Manifest) {
@@ -152,16 +179,19 @@ func gridSummary(m gossip.CorpusManifest) string {
 //
 //	gossipsim compare baseline-run/ candidate-run/
 //	gossipsim compare -profile ci ref/ cand/
+//	gossipsim compare -profile @corpus.manifest.json:ci ref/ cand/
 //	gossipsim compare -dir corpus ca637cb1349e19b4          # latest vs previous
 //	gossipsim compare -dir corpus id@0 id@latest            # pinned generations
+//	gossipsim compare -json -dir corpus -profile ci <id>    # the GET /compare bytes
 func compareMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	abs := fs.Float64("abs", 0, "absolute tolerance per metric mean")
 	rel := fs.Float64("rel", 0, "relative tolerance per metric mean (|new-ref| <= abs + rel*|ref|)")
-	profile := fs.String("profile", "", "per-metric tolerance profile ("+strings.Join(gossip.SweepProfileNames(), ", ")+"); overrides -abs/-rel")
+	profile := fs.String("profile", "", "per-metric tolerance profile ("+strings.Join(gossip.SweepProfileNames(), ", ")+", or @manifest-file[:name]); overrides -abs/-rel")
 	dir := fs.String("dir", "", "resolve arguments as id[@gen] selectors in this corpus instead of run directories")
 	quiet := fs.Bool("q", false, "suppress the per-metric table, print only the summary")
+	jsonOut := fs.Bool("json", false, "emit the verdict and full comparison as JSON — the same bytes corpusd's GET /compare answers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -177,7 +207,7 @@ func compareMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		var err error
-		if prof, err = gossip.NamedSweepProfile(*profile); err != nil {
+		if prof, err = gossip.ResolveSweepProfile(*profile); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
@@ -228,10 +258,17 @@ func compareMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if !*quiet {
-		cmp.Table().Render(stdout)
+	if *jsonOut {
+		if err := gossip.WriteCorpusJSON(stdout, gossip.NewCorpusCompareResult(cmp)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		if !*quiet {
+			cmp.Table().Render(stdout)
+		}
+		fmt.Fprintln(stdout, cmp.Summary())
 	}
-	fmt.Fprintln(stdout, cmp.Summary())
 	if cmp.Regressed() {
 		return 1
 	}
@@ -241,20 +278,54 @@ func compareMain(args []string, stdout, stderr io.Writer) int {
 // reportMain runs `gossipsim report <run>`: the stored run's aggregate
 // table plus ASCII plots of steps and messages/node against the run's
 // moving axis (density when the run sweeps densities, size otherwise).
+// With -dir the argument is an id[@gen] selector into a corpus; with
+// -json the run is emitted whole (label, manifest, records) in the
+// shape corpusd's GET /runs/{sel}/report answers.
+//
+//	gossipsim report run/
+//	gossipsim report -dir corpus ca637cb1349e19b4@prev
+//	gossipsim report -json -dir corpus ca637cb1349e19b4
 func reportMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim report", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "resolve the argument as an id[@gen] selector in this corpus instead of a run directory")
+	jsonOut := fs.Bool("json", false, "emit the run as JSON — the same bytes corpusd's GET /runs/{sel}/report answers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: gossipsim report <run-dir>")
+		fmt.Fprintln(stderr, "usage: gossipsim report [-dir corpus] [-json] <run-dir | id[@gen]>")
 		return 2
 	}
-	run, err := gossip.OpenCorpusRun(fs.Arg(0))
+	var (
+		run *gossip.CorpusRun
+		err error
+	)
+	if *dir != "" {
+		store, oerr := gossip.OpenCorpus(*dir)
+		if oerr != nil {
+			fmt.Fprintln(stderr, oerr)
+			return 1
+		}
+		run, err = store.Resolve(fs.Arg(0))
+	} else {
+		run, err = gossip.OpenCorpusRun(fs.Arg(0))
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if *jsonOut {
+		v, verr := gossip.NewCorpusReportView(run)
+		if verr != nil {
+			fmt.Fprintln(stderr, verr)
+			return 1
+		}
+		if werr := gossip.WriteCorpusJSON(stdout, v); werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		return 0
 	}
 	if err := gossip.ReportRun(stdout, run); err != nil {
 		fmt.Fprintln(stderr, err)

@@ -16,6 +16,7 @@ import (
 //
 //	gossipsim trend -dir corpus ca637cb1349e19b4
 //	gossipsim trend -dir corpus -algo pushpull -density 2 ca637cb1349e19b4
+//	gossipsim trend -dir corpus -json ca637cb1349e19b4   # the GET /trend bytes
 func trendMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gossipsim trend", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -24,6 +25,7 @@ func trendMain(args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "", "restrict to cells with this graph model")
 	n := fs.Int("n", 0, "restrict to cells with this graph size")
 	density := fs.Float64("density", 0, "restrict to cells with this density factor")
+	jsonOut := fs.Bool("json", false, "emit the trend as JSON — the same bytes corpusd's GET /trend/{id} answers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,6 +54,13 @@ func trendMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if *jsonOut {
+		if err := gossip.WriteCorpusJSON(stdout, tr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 	tr.Render(stdout)
 	return 0

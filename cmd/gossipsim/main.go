@@ -34,6 +34,14 @@
 //	gossipsim prune -dir corpus -keep 5 -dry-run
 //	gossipsim report run/
 //
+// The corpus is also a service: `gossipsim serve` indexes a store and
+// answers the same questions over HTTP — run listings, manifests,
+// streamed cells, trends, regression compares, Prometheus-style
+// metrics, and an HTML dashboard — with JSON bytes identical to the
+// CLI's -json flags:
+//
+//	gossipsim serve -dir corpus -addr :8477 -manifest corpus.manifest.json
+//
 // A grid too big for one process shards across any number of machines
 // — shard s of m runs cells i with i mod m == s, each checkpointing
 // (and resuming) independently — and the completed shards merge back
@@ -81,6 +89,8 @@ func main() {
 			os.Exit(trendMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "prune":
 			os.Exit(pruneMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "serve":
+			os.Exit(serveMain(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (

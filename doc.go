@@ -126,6 +126,57 @@
 // clears unreadable wreckage (which listings skip-and-report rather
 // than fail on), and -dry-run prints the plan without deleting.
 //
+// # The corpus service and index
+//
+// Every store maintains a query index, <corpus>/index.json: one entry
+// per run ID holding the grid's axis ranges (algos, models, sizes,
+// effective densities), the master seed and repetition count, the
+// ordered generation list with provenance and completion state, and
+// damage flags for unreadable directories. Because a grid is a cross
+// product of its axes, axis-range membership is equivalent to "this
+// run contains a matching cell", so listings and filter queries answer
+// from the index in O(result) without opening a manifest — and the
+// equivalence is pinned by tests requiring index-backed answers to be
+// byte-identical to full-scan answers. Archive, Import and Prune keep
+// the index current incrementally; every write replaces index.json
+// atomically; and the index is entirely derived state —
+// Corpus.RebuildIndex (or OpenIndexedCorpus on a stale schema)
+// reconstructs it from the run directories, which is also the repair
+// path after a non-index-aware tool mutates the store.
+//
+// corpusd (NewCorpusServer, ServeCorpus; `gossipsim serve -dir corpus
+// [-addr :8477] [-manifest corpus.manifest.json]`) serves the store
+// over HTTP:
+//
+//	GET /runs                   the filtered run listing (?algo=, ?model=,
+//	                            ?n=, ?density=, ?rev=), from the index
+//	GET /runs/{id[@gen]}        one generation in full: summary, manifest,
+//	                            sibling generations
+//	GET /runs/{id[@gen]}/cells  the stored cell records as JSONL,
+//	                            axis-filterable, streamed verbatim
+//	GET /runs/{id[@gen]}/report the whole run as one JSON document
+//	GET /trend/{id}             per-metric means across the generations
+//	GET /compare?id=<run>       regression diff latest-vs-previous (or
+//	                            ?ref=&new= selectors), ?profile= gated
+//	GET /healthz, /metrics      liveness and Prometheus-style metrics
+//	GET /                       an HTML dashboard: run tables, trend
+//	                            sparklines
+//
+// The daemon's JSON bytes are identical to the CLI's -json flags
+// (`archive -json`, `compare -json`, `trend -json`, `report -json`) —
+// one set of view types and one encoder serve both. Consistency under
+// a concurrent `archive` is structural: generation directories are
+// immutable once committed and index.json is replaced atomically, so
+// the server snapshots the index per request and can never observe a
+// torn generation or stream a torn cell line.
+//
+// A checked-in corpus manifest (LoadCorpusManifestFile,
+// corpus.manifest.json) declares named tolerance profiles and named
+// grids in one JSON document. Declared profiles are usable wherever a
+// built-in name is (`compare -profile @file[:name]`, GET
+// /compare?profile=); a declared grid content-addresses to its run ID,
+// so its name doubles as a run selector in daemon queries.
+//
 // # Sharded sweeps
 //
 // Grids too big for one process shard across any number of machines

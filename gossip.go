@@ -1,11 +1,14 @@
 package gossip
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 
 	"gossip/internal/core"
 	"gossip/internal/corpus"
+	"gossip/internal/corpusd"
 	"gossip/internal/dispatch"
 	"gossip/internal/exp"
 	"gossip/internal/gossipd"
@@ -521,6 +524,101 @@ func UniformSweepProfile(t SweepTolerance) SweepToleranceProfile {
 // restricted to cells matching f.
 func CorpusTrendOf(gens []*CorpusRun, f CorpusFilter) (*CorpusTrend, error) {
 	return corpus.TrendOf(gens, f)
+}
+
+// The corpus service and index (internal/corpus + internal/corpusd):
+// a per-store index.json answers listings and filter queries without
+// scanning run directories, and the corpusd HTTP server exposes the
+// store — listings, manifests, streamed cells, trends, regression
+// compares, metrics, a dashboard — over one port (`gossipsim serve`).
+type (
+	// CorpusIndex is a store's query index: one entry per run ID, with
+	// grid axis ranges and the generation list.
+	CorpusIndex = corpus.Index
+	// CorpusIndexEntry summarizes one run ID in the index.
+	CorpusIndexEntry = corpus.IndexEntry
+	// CorpusGenInfo summarizes one stored generation for listings.
+	CorpusGenInfo = corpus.GenInfo
+	// CorpusRunSummary is one run's line item in a store listing — the
+	// JSON shape `gossipsim archive -json` and GET /runs share.
+	CorpusRunSummary = corpus.RunSummary
+	// CorpusRunDetail is one generation in full: summary, manifest,
+	// sibling generations (GET /runs/{id[@gen]}).
+	CorpusRunDetail = corpus.RunDetail
+	// CorpusReportView is a stored run's full content as one JSON
+	// document (`gossipsim report -json`, GET /runs/{sel}/report).
+	CorpusReportView = corpus.ReportView
+	// CorpusCompareResult wraps a comparison with its gate verdict
+	// (`gossipsim compare -json`, GET /compare).
+	CorpusCompareResult = corpus.CompareResult
+	// CorpusManifestFile is the checked-in corpus manifest: tolerance
+	// profiles and named grids by name.
+	CorpusManifestFile = corpus.ManifestFile
+	// CorpusServer is the corpus HTTP service, an http.Handler.
+	CorpusServer = corpusd.Server
+)
+
+// OpenIndexedCorpus opens a corpus directory and ensures its query
+// index exists, building it from the store's directories if missing or
+// stale in schema. The returned index answers listings in O(result);
+// Corpus.RebuildIndex repairs one a non-index-aware tool invalidated.
+func OpenIndexedCorpus(dir string) (*Corpus, *CorpusIndex, error) {
+	store, err := corpus.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err := store.EnsureIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, idx, nil
+}
+
+// LoadCorpusManifestFile reads and validates a corpus manifest file
+// (tolerance profiles + named grids; see corpus.manifest.json at the
+// repository root for the schema).
+func LoadCorpusManifestFile(path string) (*CorpusManifestFile, error) {
+	return corpus.LoadManifestFile(path)
+}
+
+// ResolveSweepProfile resolves a -profile argument: a built-in profile
+// name, or "@file[:name]" naming one declared in a corpus manifest
+// file.
+func ResolveSweepProfile(spec string) (SweepToleranceProfile, error) {
+	return corpus.ResolveProfile(spec)
+}
+
+// NewCorpusServer builds the corpus HTTP service over a store; mf (may
+// be nil) supplies tolerance profiles and named grids.
+func NewCorpusServer(store *Corpus, mf *CorpusManifestFile) (*CorpusServer, error) {
+	return corpusd.New(store, mf)
+}
+
+// ServeCorpus serves a corpus store over HTTP on addr (":0" picks a
+// free port, reported through ready, which may be nil) until ctx is
+// canceled, then shuts down gracefully.
+func ServeCorpus(ctx context.Context, addr string, store *Corpus, mf *CorpusManifestFile, ready func(net.Addr)) error {
+	srv, err := corpusd.New(store, mf)
+	if err != nil {
+		return err
+	}
+	return corpusd.ListenAndServe(ctx, addr, srv, ready)
+}
+
+// WriteCorpusJSON encodes a corpus view value exactly as the daemon
+// endpoints and the CLI -json flags do, so all three produce identical
+// bytes for equal values.
+func WriteCorpusJSON(w io.Writer, v any) error { return corpus.WriteJSON(w, v) }
+
+// NewCorpusReportView loads a run's records into its report view.
+func NewCorpusReportView(r *CorpusRun) (*CorpusReportView, error) {
+	return corpus.NewReportView(r)
+}
+
+// NewCorpusCompareResult wraps a comparison with its serialized gate
+// verdict.
+func NewCorpusCompareResult(c *SweepComparison) *CorpusCompareResult {
+	return corpus.NewCompareResult(c)
 }
 
 // BuildRevision reports the code revision baked into the running

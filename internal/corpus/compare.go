@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -17,8 +18,8 @@ import (
 // configuration. Note the asymmetry at a = 0: a purely relative
 // tolerance accepts no drift away from an exactly-zero reference.
 type Tolerance struct {
-	Abs float64
-	Rel float64
+	Abs float64 `json:"abs,omitempty"`
+	Rel float64 `json:"rel,omitempty"`
 }
 
 // Within reports whether candidate b is within tolerance of reference a.
@@ -45,11 +46,11 @@ func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 type Profile struct {
 	// Name labels the profile in verdict tables ("" for an ad-hoc
 	// uniform profile).
-	Name string
+	Name string `json:"name,omitempty"`
 	// Default applies to metrics not listed in Metrics.
-	Default Tolerance
+	Default Tolerance `json:"default"`
 	// Metrics maps a metric name to its tolerance.
-	Metrics map[string]Tolerance
+	Metrics map[string]Tolerance `json:"metrics,omitempty"`
 }
 
 // For returns the tolerance gating the named metric.
@@ -128,27 +129,46 @@ type MetricDelta struct {
 	Verdict    string
 }
 
+// MarshalJSON serializes the delta with non-finite values as null:
+// Rel is NaN by construction whenever the reference mean is zero, and
+// encoding/json rejects NaN outright — a comparison must stay
+// serializable for the -json flags and the corpusd endpoints.
+func (d MetricDelta) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Metric  string           `json:"metric"`
+		Ref     runner.MetricAgg `json:"ref"`
+		New     runner.MetricAgg `json:"new"`
+		Delta   *float64         `json:"delta"`
+		Rel     *float64         `json:"rel"`
+		Verdict string           `json:"verdict"`
+	}{d.Metric, d.Ref, d.New, finitePtr(d.Delta), finitePtr(d.Rel), d.Verdict})
+}
+
 // CellDiff is one grid coordinate's comparison.
 type CellDiff struct {
-	Key      Key
-	Scenario runner.Scenario
+	Key      Key             `json:"key"`
+	Scenario runner.Scenario `json:"scenario"`
 	// Deltas holds the per-metric comparisons, sorted by metric name;
 	// empty for cells present in only one run.
-	Deltas []MetricDelta
+	Deltas []MetricDelta `json:"deltas,omitempty"`
 	// Verdict is ok/FAIL for matched cells, missing/extra otherwise.
-	Verdict string
+	Verdict string `json:"verdict"`
 }
 
 // Comparison is the metric-by-metric diff of two runs.
 type Comparison struct {
-	Ref, New string // labels (run IDs, id@gen, or paths)
-	Prof     Profile
-	Cells    []CellDiff
+	// Ref and New label the two runs (run IDs, id@gen, or paths).
+	Ref   string     `json:"ref"`
+	New   string     `json:"new"`
+	Prof  Profile    `json:"profile"`
+	Cells []CellDiff `json:"cells"`
 	// Matched counts joined cells; OnlyRef/OnlyNew the unjoined ones.
-	Matched, OnlyRef, OnlyNew int
+	Matched int `json:"matched"`
+	OnlyRef int `json:"only_ref"`
+	OnlyNew int `json:"only_new"`
 	// Failing counts matched cells with at least one out-of-tolerance
 	// or missing metric.
-	Failing int
+	Failing int `json:"failing"`
 }
 
 // Regressed reports the gate verdict: a metric drifted out of

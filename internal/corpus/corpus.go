@@ -420,42 +420,58 @@ func SplitSelector(sel string) (id, gen string) {
 // pickGen resolves a generation selector against an ordered (oldest
 // first) generation list.
 func pickGen(id string, gens []*Run, sel string) (*Run, error) {
-	switch sel {
-	case "", "latest":
-		return gens[len(gens)-1], nil
-	case "prev":
-		if len(gens) < 2 {
-			return nil, fmt.Errorf("corpus: run %s has only %d generation(s) — no previous to compare against", id, len(gens))
-		}
-		return gens[len(gens)-2], nil
-	}
-	// An in-range integer is an ordinal; an out-of-range one falls
-	// through to name-fragment matching — an all-digit revision or a
-	// timestamp fragment must stay usable as a selector.
-	if n, err := strconv.Atoi(sel); err == nil && n >= 0 && n < len(gens) {
-		return gens[n], nil
-	}
-	var hit *Run
-	for _, g := range gens {
-		if g.Gen == sel {
-			return g, nil
-		}
-		if strings.Contains(g.Gen, sel) {
-			if hit != nil {
-				return nil, fmt.Errorf("corpus: run %s: generation selector %q is ambiguous (%s, %s, …)", id, sel, hit.Gen, g.Gen)
-			}
-			hit = g
-		}
-	}
-	if hit != nil {
-		return hit, nil
-	}
 	names := make([]string, len(gens))
 	for i, g := range gens {
 		names[i] = g.Gen
 	}
-	return nil, fmt.Errorf("corpus: run %s has no generation %q (have %s)", id, sel, strings.Join(names, ", "))
+	i, err := pickGenName(id, names, sel)
+	if err != nil {
+		return nil, err
+	}
+	return gens[i], nil
 }
+
+// pickGenName is the selector core shared by the store (over opened
+// runs) and the index (over recorded generation names): it resolves
+// "", "latest", "prev", an ordinal, or a unique name fragment against
+// an ordered (oldest first) name list.
+func pickGenName(id string, names []string, sel string) (int, error) {
+	switch sel {
+	case "", "latest":
+		return len(names) - 1, nil
+	case "prev":
+		if len(names) < 2 {
+			return 0, fmt.Errorf("corpus: run %s has only %d generation(s) — no previous to compare against", id, len(names))
+		}
+		return len(names) - 2, nil
+	}
+	// An in-range integer is an ordinal; an out-of-range one falls
+	// through to name-fragment matching — an all-digit revision or a
+	// timestamp fragment must stay usable as a selector.
+	if n, err := strconv.Atoi(sel); err == nil && n >= 0 && n < len(names) {
+		return n, nil
+	}
+	hit := -1
+	for i, g := range names {
+		if g == sel {
+			return i, nil
+		}
+		if strings.Contains(g, sel) {
+			if hit >= 0 {
+				return 0, fmt.Errorf("corpus: run %s: generation selector %q is ambiguous (%s, %s, …)", id, sel, names[hit], g)
+			}
+			hit = i
+		}
+	}
+	if hit >= 0 {
+		return hit, nil
+	}
+	return 0, fmt.Errorf("corpus: run %s has no generation %q (have %s)", id, sel, strings.Join(names, ", "))
+}
+
+// containsTmp reports whether a store entry name is uncommitted
+// staging (a ".tmp-" sibling every listing skips).
+func containsTmp(name string) bool { return strings.Contains(name, ".tmp-") }
 
 // Generations opens every readable generation of the identified run,
 // oldest first, along with the generation directories that failed to
@@ -645,6 +661,13 @@ func (s *Store) appendGen(m Manifest, recs []runner.CellRecord) (*Appended, erro
 		return nil, err
 	}
 	r.Gen = name
+	// Keep the query index current: re-derive this one run's entry (a
+	// store without an index yet gets its first full build here). The
+	// generation itself is already durably committed; an index failure
+	// is a real error (disk full, permissions) and RebuildIndex repairs.
+	if err := s.reindexRuns(m.ID); err != nil {
+		return nil, err
+	}
 	return &Appended{Run: r, Added: true, Prev: prev, Incoming: m}, nil
 }
 
@@ -811,12 +834,15 @@ func copyFile(src, dst string) error {
 }
 
 // Select opens the latest generations whose grid contains at least one
-// cell matching f, sorted by ID. Damaged store entries are skipped;
-// list them with Runs.
-func (s *Store) Select(f Filter) ([]*Run, error) {
-	runs, _, err := s.Runs()
+// cell matching f, sorted by ID. Damaged store entries are skipped
+// consistently — their manifests are never opened, let alone matched —
+// and reported alongside the hits, exactly as Runs reports them, so a
+// filtered listing can no longer silently hide that part of the store
+// is unreadable.
+func (s *Store) Select(f Filter) ([]*Run, []Damaged, error) {
+	runs, damaged, err := s.Runs()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []*Run
 	for _, r := range runs {
@@ -824,7 +850,7 @@ func (s *Store) Select(f Filter) ([]*Run, error) {
 			out = append(out, r)
 		}
 	}
-	return out, nil
+	return out, damaged, nil
 }
 
 // WriteRun writes a complete run directory in one shot, atomically:
@@ -979,15 +1005,15 @@ func FilterRecords(recs []runner.CellRecord, f Filter) []runner.CellRecord {
 // comparison: two runs' cells with equal Keys measured the same
 // configuration.
 type Key struct {
-	Algo     string
-	Model    string
-	N        int
-	Density  float64
-	Failures int
-	Trees    int
-	MemSlots int
-	WalkProb float64
-	SampleK  int
+	Algo     string  `json:"algo"`
+	Model    string  `json:"model"`
+	N        int     `json:"n"`
+	Density  float64 `json:"density"`
+	Failures int     `json:"failures"`
+	Trees    int     `json:"trees,omitempty"`
+	MemSlots int     `json:"memslots,omitempty"`
+	WalkProb float64 `json:"walkprob,omitempty"`
+	SampleK  int     `json:"k,omitempty"`
 }
 
 // KeyOf returns s's coordinate, with defaults applied so cells naming

@@ -210,18 +210,18 @@ func TestStoreImportAndSelect(t *testing.T) {
 		t.Error("re-import did not dedupe")
 	}
 
-	hits, err := store.Select(Filter{Algo: "sampled", N: 128})
+	hits, _, err := store.Select(Filter{Algo: "sampled", N: 128})
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("Select(sampled, 128) = %d runs, err %v; want 1", len(hits), err)
 	}
-	miss, err := store.Select(Filter{Algo: "memory"})
+	miss, _, err := store.Select(Filter{Algo: "memory"})
 	if err != nil || len(miss) != 0 {
 		t.Fatalf("Select(memory) = %d runs, err %v; want 0", len(miss), err)
 	}
-	if hits, _ = store.Select(Filter{Density: 2}); len(hits) != 1 {
+	if hits, _, _ = store.Select(Filter{Density: 2}); len(hits) != 1 {
 		t.Errorf("Select(density=2) = %d runs, want 1", len(hits))
 	}
-	if miss, _ = store.Select(Filter{Density: 3}); len(miss) != 0 {
+	if miss, _, _ = store.Select(Filter{Density: 3}); len(miss) != 0 {
 		t.Errorf("Select(density=3) = %d runs, want 0", len(miss))
 	}
 }

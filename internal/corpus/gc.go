@@ -138,6 +138,21 @@ func (s *Store) Prune(o PruneOptions) (*PrunePlan, error) {
 		if err := syncDir(s.Dir); err != nil {
 			return plan, err
 		}
+		// Re-index the runs that lost generations (or vanished), so the
+		// query index never lists a pruned generation.
+		seen := map[string]bool{}
+		var ids []string
+		for _, v := range plan.Victims {
+			if v.ID != "" && !seen[v.ID] {
+				seen[v.ID] = true
+				ids = append(ids, v.ID)
+			}
+		}
+		if len(ids) > 0 {
+			if err := s.reindexRuns(ids...); err != nil {
+				return plan, err
+			}
+		}
 	}
 	return plan, nil
 }

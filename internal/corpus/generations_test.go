@@ -337,9 +337,15 @@ func TestRunsSkipsDamaged(t *testing.T) {
 	if len(damaged) != 1 || damaged[0].Dir != torn {
 		t.Fatalf("torn run not reported: %+v", damaged)
 	}
-	// Select still works over the damaged store.
-	if hits, err := store.Select(Filter{Algo: "pushpull"}); err != nil || len(hits) != 1 {
+	// Select still works over the damaged store: the torn run's
+	// manifest is never touched, the hit list excludes it, and the
+	// damage is reported rather than silently dropped.
+	hits, selDamaged, err := store.Select(Filter{Algo: "pushpull"})
+	if err != nil || len(hits) != 1 {
 		t.Fatalf("Select over damaged store = %d, %v", len(hits), err)
+	}
+	if len(selDamaged) != 1 || selDamaged[0].Dir != torn {
+		t.Fatalf("Select did not report the damaged run: %+v", selDamaged)
 	}
 	// Prune -damaged deletes the wreck (and only it).
 	plan, err := store.Prune(PruneOptions{Damaged: true})

@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gossip/internal/runner"
+)
+
+// The corpus manifest file: tolerance profiles and named experiment
+// grids declared in one checked-in JSON document instead of flags, so
+// a CI gate or a dashboard panel is a file, not a command line. The
+// compare CLI consumes it via `-profile @file[:name]`, and corpusd
+// loads it at boot (`gossipsim serve -manifest`) to resolve profile
+// and grid names in queries — a named grid doubles as a run selector,
+// since its canonical form content-addresses the run ID.
+
+// ManifestFileVersion stamps (and validates) the manifest file schema.
+const ManifestFileVersion = "gossip-corpus-manifest/1"
+
+// ManifestFile is the parsed corpus manifest.
+type ManifestFile struct {
+	Version string `json:"version"`
+	// Profiles declares tolerance profiles by name; each is usable
+	// everywhere a built-in profile name is.
+	Profiles map[string]ProfileSpec `json:"profiles,omitempty"`
+	// Grids declares experiment grids by name. A named grid pins a
+	// configuration family: its canonical form derives the
+	// content-addressed run ID, so the name resolves to stored runs.
+	Grids map[string]runner.Grid `json:"grids,omitempty"`
+}
+
+// ProfileSpec is a tolerance profile as declared in a manifest file
+// (the Profile type minus the display name, which the map key carries).
+type ProfileSpec struct {
+	Default Tolerance            `json:"default"`
+	Metrics map[string]Tolerance `json:"metrics,omitempty"`
+}
+
+// LoadManifestFile reads and validates a corpus manifest file.
+func LoadManifestFile(path string) (*ManifestFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load manifest file: %w", err)
+	}
+	var mf ManifestFile
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("corpus: parse manifest file %s: %w", path, err)
+	}
+	if mf.Version != ManifestFileVersion {
+		return nil, fmt.Errorf("corpus: manifest file %s has version %q, want %q", path, mf.Version, ManifestFileVersion)
+	}
+	for name, g := range mf.Grids {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: manifest file %s: grid %q: %w", path, name, err)
+		}
+	}
+	return &mf, nil
+}
+
+// Profile returns the named declared profile.
+func (mf *ManifestFile) Profile(name string) (Profile, error) {
+	spec, ok := mf.Profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("corpus: manifest file declares no profile %q (have %s)", name, strings.Join(mf.ProfileNames(), ", "))
+	}
+	return Profile{Name: name, Default: spec.Default, Metrics: spec.Metrics}, nil
+}
+
+// ProfileNames lists the declared profiles, sorted.
+func (mf *ManifestFile) ProfileNames() []string {
+	names := make([]string, 0, len(mf.Profiles))
+	for name := range mf.Profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GridNames lists the declared grids, sorted.
+func (mf *ManifestFile) GridNames() []string {
+	names := make([]string, 0, len(mf.Grids))
+	for name := range mf.Grids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunID resolves a declared grid name to its content-addressed run ID.
+func (mf *ManifestFile) RunID(name string) (string, error) {
+	g, ok := mf.Grids[name]
+	if !ok {
+		return "", fmt.Errorf("corpus: manifest file declares no grid %q (have %s)", name, strings.Join(mf.GridNames(), ", "))
+	}
+	return GridID(g), nil
+}
+
+// ResolveProfile resolves a -profile argument: a built-in name
+// ("exact", "ci"), or a manifest-file reference "@file" (usable when
+// the file declares exactly one profile) or "@file:name".
+func ResolveProfile(spec string) (Profile, error) {
+	if !strings.HasPrefix(spec, "@") {
+		return NamedProfile(spec)
+	}
+	path, name, _ := strings.Cut(spec[1:], ":")
+	mf, err := LoadManifestFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	if name == "" {
+		names := mf.ProfileNames()
+		if len(names) != 1 {
+			return Profile{}, fmt.Errorf("corpus: %s declares %d profiles (%s) — pick one with @%s:<name>", path, len(names), strings.Join(names, ", "), path)
+		}
+		name = names[0]
+	}
+	return mf.Profile(name)
+}

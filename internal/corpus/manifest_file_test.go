@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gossip/internal/runner"
+)
+
+func writeManifestFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.manifest.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testManifestFile = `{
+  "version": "gossip-corpus-manifest/1",
+  "profiles": {
+    "strict": {"default": {}, "metrics": {"steps": {"abs": 1}}},
+    "loose": {"default": {"rel": 0.2}}
+  },
+  "grids": {
+    "tiny": {"algos": ["pushpull"], "sizes": [64], "seed": 7}
+  }
+}`
+
+func TestManifestFileProfilesAndGrids(t *testing.T) {
+	path := writeManifestFile(t, testManifestFile)
+	mf, err := LoadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mf.Profile("strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "strict" || p.For("steps").Abs != 1 || p.For("other") != (Tolerance{}) {
+		t.Errorf("strict profile misparsed: %+v", p)
+	}
+	if _, err := mf.Profile("nope"); err == nil {
+		t.Error("unknown profile resolved")
+	}
+
+	// A named grid's run ID is its canonical grid's content address.
+	id, err := mf.RunID("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GridID(runner.Grid{Algos: []string{"pushpull"}, Sizes: []int{64}, Seed: 7})
+	if id != want {
+		t.Errorf("RunID(tiny) = %s, want %s", id, want)
+	}
+	if _, err := mf.RunID("nope"); err == nil {
+		t.Error("unknown grid resolved")
+	}
+}
+
+func TestManifestFileRejectsBadInput(t *testing.T) {
+	for name, content := range map[string]string{
+		"wrong version": `{"version": "gossip-corpus-manifest/999"}`,
+		"unknown field": `{"version": "gossip-corpus-manifest/1", "profilez": {}}`,
+		"torn":          `{"version"`,
+		"bad grid":      `{"version": "gossip-corpus-manifest/1", "grids": {"g": {"algos": ["no-such-algo"]}}}`,
+	} {
+		path := writeManifestFile(t, content)
+		if _, err := LoadManifestFile(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadManifestFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestResolveProfile(t *testing.T) {
+	// Built-ins resolve without a file.
+	p, err := ResolveProfile("ci")
+	if err != nil || p.Name != "ci" {
+		t.Fatalf("ResolveProfile(ci) = %+v, %v", p, err)
+	}
+
+	path := writeManifestFile(t, testManifestFile)
+	p, err = ResolveProfile("@" + path + ":loose")
+	if err != nil || p.Name != "loose" || p.Default.Rel != 0.2 {
+		t.Fatalf("ResolveProfile(@file:loose) = %+v, %v", p, err)
+	}
+	// Two declared profiles: the bare @file form is ambiguous.
+	if _, err := ResolveProfile("@" + path); err == nil {
+		t.Error("ambiguous @file resolved")
+	}
+	one := writeManifestFile(t, `{"version": "gossip-corpus-manifest/1", "profiles": {"only": {"default": {"abs": 3}}}}`)
+	p, err = ResolveProfile("@" + one)
+	if err != nil || p.Name != "only" || p.Default.Abs != 3 {
+		t.Fatalf("ResolveProfile(@single-profile-file) = %+v, %v", p, err)
+	}
+}
+
+func TestCheckedInManifestFile(t *testing.T) {
+	// The repo's own corpus.manifest.json must stay loadable, and its
+	// "reference" grid must keep naming the committed reference run.
+	mf, err := LoadManifestFile("../../corpus.manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mf.Profile("ci"); err != nil {
+		t.Error(err)
+	}
+	id, err := mf.RunID("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := OpenRun("../../testdata/reference-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ref.Manifest.ID {
+		t.Errorf("manifest grid 'reference' IDs to %s, committed reference run is %s", id, ref.Manifest.ID)
+	}
+}

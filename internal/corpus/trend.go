@@ -16,24 +16,26 @@ import (
 // single-pair comparator cannot: not "did this revision drift from the
 // last one" but "how has steps-at-density-d moved across every
 // revision we have archived".
+// The JSON tags are part of the corpus's serialized surface: `gossipsim
+// trend -json` and corpusd's GET /trend emit this type verbatim.
 type Trend struct {
-	ID string
+	ID string `json:"id"`
 	// Metrics is the sorted union of metric names across generations.
-	Metrics []string
+	Metrics []string `json:"metrics"`
 	// Points holds one entry per generation, oldest first.
-	Points []TrendPoint
+	Points []TrendPoint `json:"points"`
 }
 
 // TrendPoint is one generation's aggregate in a trend.
 type TrendPoint struct {
-	Gen       string
-	CreatedAt string
-	Revision  string
+	Gen       string `json:"gen"`
+	CreatedAt string `json:"created_at,omitempty"`
+	Revision  string `json:"revision,omitempty"`
 	// Cells counts the records that matched the trend's filter.
-	Cells int
+	Cells int `json:"cells"`
 	// Means maps metric name to the mean of the matching cells' means;
 	// a metric absent from every matching cell is absent here.
-	Means map[string]float64
+	Means map[string]float64 `json:"means"`
 }
 
 // TrendOf aggregates the given generations (oldest first — the order
@@ -45,7 +47,7 @@ func TrendOf(gens []*Run, f Filter) (*Trend, error) {
 	if len(gens) == 0 {
 		return nil, fmt.Errorf("corpus: trend over zero generations")
 	}
-	t := &Trend{ID: gens[0].Manifest.ID}
+	t := &Trend{ID: gens[0].Manifest.ID, Metrics: []string{}}
 	names := map[string]bool{}
 	for _, g := range gens {
 		if g.Manifest.ID != t.ID {

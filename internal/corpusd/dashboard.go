@@ -1,0 +1,137 @@
+package corpusd
+
+import "net/http"
+
+// handleDashboard answers GET /: a self-contained HTML page that
+// renders the run listing and per-run metric sparklines from the JSON
+// endpoints — the browser view of the corpus, served with zero static
+// assets so the daemon stays a single binary.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>gossip corpus</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #ddd; white-space: nowrap; }
+  th { border-bottom: 2px solid #888; }
+  code { background: #f4f4f4; padding: 0 .2rem; }
+  .ok { color: #1a7f37; } .warn { color: #b35900; }
+  svg.spark { vertical-align: middle; }
+  svg.spark polyline { fill: none; stroke: #2563eb; stroke-width: 1.5; }
+  svg.spark circle { fill: #2563eb; }
+  #err { color: #b91c1c; white-space: pre-wrap; }
+</style>
+</head>
+<body>
+<h1>gossip corpus</h1>
+<p>Stored sweep runs, one row per content-addressed configuration.
+Trends plot each metric&rsquo;s mean across the run&rsquo;s generations
+(oldest&nbsp;&rarr;&nbsp;newest). Raw answers: <code>/runs</code>,
+<code>/runs/{id}</code>, <code>/runs/{id}/cells</code>,
+<code>/trend/{id}</code>, <code>/compare?id=&hellip;</code>,
+<code>/metrics</code>.</p>
+<div id="err"></div>
+<div id="runs"></div>
+<h2>Trends</h2>
+<div id="trends"><em>loading&hellip;</em></div>
+<script>
+"use strict";
+function el(tag, attrs, children) {
+  const e = document.createElement(tag);
+  for (const k in (attrs || {})) e.setAttribute(k, attrs[k]);
+  for (const c of (children || [])) e.append(c);
+  return e;
+}
+function spark(values) {
+  const w = 140, h = 28, pad = 3;
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("class", "spark");
+  svg.setAttribute("width", w); svg.setAttribute("height", h);
+  const finite = values.filter(v => v !== null && isFinite(v));
+  if (finite.length === 0) return svg;
+  let lo = Math.min(...finite), hi = Math.max(...finite);
+  if (hi === lo) { hi += 1; lo -= 1; }
+  const pts = [];
+  values.forEach((v, i) => {
+    if (v === null || !isFinite(v)) return;
+    const x = pad + (w - 2 * pad) * (values.length < 2 ? 0.5 : i / (values.length - 1));
+    const y = h - pad - (h - 2 * pad) * (v - lo) / (hi - lo);
+    pts.push([x, y]);
+  });
+  const line = document.createElementNS("http://www.w3.org/2000/svg", "polyline");
+  line.setAttribute("points", pts.map(p => p.join(",")).join(" "));
+  svg.append(line);
+  const last = pts[pts.length - 1];
+  const dot = document.createElementNS("http://www.w3.org/2000/svg", "circle");
+  dot.setAttribute("cx", last[0]); dot.setAttribute("cy", last[1]); dot.setAttribute("r", 2);
+  svg.append(dot);
+  return svg;
+}
+async function getJSON(path) {
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + ": " + resp.status + " " + await resp.text());
+  return resp.json();
+}
+function runsTable(runs) {
+  const head = el("tr", {}, ["run", "gens", "latest", "revision", "created", "cells", "algos", "models", "sizes", "densities"]
+    .map(c => el("th", {}, [c])));
+  const rows = runs.map(r => el("tr", {}, [
+    el("td", {}, [el("code", {}, [r.id])]),
+    el("td", {}, [String(r.generations)]),
+    el("td", {}, [el("code", {}, [r.gen])]),
+    el("td", {}, [r.revision || "-"]),
+    el("td", {}, [r.created_at || "-"]),
+    el("td", { class: r.complete ? "ok" : "warn" },
+      [r.complete ? String(r.cells) : r.cells_done + "/" + r.cells]),
+    el("td", {}, [r.algos.join(", ")]),
+    el("td", {}, [r.models.join(", ")]),
+    el("td", {}, [r.sizes.join(", ")]),
+    el("td", {}, [r.densities.join(", ")]),
+  ]));
+  return el("table", {}, [head, ...rows]);
+}
+function trendTable(t) {
+  const head = el("tr", {}, ["metric", "trend", "latest"].map(c => el("th", {}, [c])));
+  const rows = t.metrics.map(m => {
+    const means = t.points.map(p => (m in p.means) ? p.means[m] : null);
+    const finite = means.filter(v => v !== null && isFinite(v));
+    const last = finite.length ? finite[finite.length - 1] : null;
+    return el("tr", {}, [
+      el("td", {}, [m]),
+      el("td", {}, [spark(means)]),
+      el("td", {}, [last === null ? "-" : last.toPrecision(6)]),
+    ]);
+  });
+  return el("table", {}, [head, ...rows]);
+}
+async function main() {
+  const runs = await getJSON("runs");
+  const runsDiv = document.getElementById("runs");
+  if (runs.length === 0) { runsDiv.append(el("p", {}, ["The store is empty."])); }
+  else { runsDiv.append(runsTable(runs)); }
+  const trends = document.getElementById("trends");
+  trends.textContent = "";
+  if (runs.length === 0) trends.append(el("em", {}, ["nothing to plot"]));
+  for (const r of runs) {
+    try {
+      const t = await getJSON("trend/" + r.id);
+      trends.append(el("h3", {}, [el("code", {}, [r.id]), " · " + t.points.length + " generation(s)"]));
+      trends.append(trendTable(t));
+    } catch (err) {
+      trends.append(el("p", { class: "warn" }, [String(err)]));
+    }
+  }
+}
+main().catch(err => { document.getElementById("err").textContent = String(err); });
+</script>
+</body>
+</html>
+`

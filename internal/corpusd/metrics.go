@@ -1,0 +1,97 @@
+package corpusd
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metricSet is the daemon's hand-rolled Prometheus-style metric
+// registry: request counts and latency per route pattern, written in
+// the text exposition format. The route label is the mux pattern, not
+// the raw path, so the label set stays bounded no matter what clients
+// request.
+type metricSet struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	seconds  map[string]float64
+	counts   map[string]int64
+}
+
+type reqKey struct {
+	path string
+	code int
+}
+
+func newMetricSet() *metricSet {
+	return &metricSet{
+		requests: map[reqKey]int64{},
+		seconds:  map[string]float64{},
+		counts:   map[string]int64{},
+	}
+}
+
+// observe records one served request.
+func (m *metricSet) observe(path string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{path, code}]++
+	m.seconds[path] += d.Seconds()
+	m.counts[path]++
+}
+
+// handleMetrics answers GET /metrics: the request counters plus the
+// index gauges (runs, generations, damaged directories) read from the
+// current snapshot, so a scrape doubles as a cheap store health probe.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := s.met
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintln(w, "# HELP corpusd_requests_total Requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE corpusd_requests_total counter")
+	for _, k := range keys {
+		fmt.Fprintf(w, "corpusd_requests_total{path=%q,code=%q} %d\n", k.path, strconv.Itoa(k.code), m.requests[k])
+	}
+	paths := make([]string, 0, len(m.counts))
+	for p := range m.counts {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	fmt.Fprintln(w, "# HELP corpusd_request_seconds Cumulative request latency, by route pattern.")
+	fmt.Fprintln(w, "# TYPE corpusd_request_seconds summary")
+	for _, p := range paths {
+		fmt.Fprintf(w, "corpusd_request_seconds_sum{path=%q} %g\n", p, m.seconds[p])
+		fmt.Fprintf(w, "corpusd_request_seconds_count{path=%q} %d\n", p, m.counts[p])
+	}
+	m.mu.Unlock()
+
+	idx, err := s.snapshot()
+	if err != nil {
+		// The scrape stays useful without the gauges; the error itself
+		// becomes a visible signal.
+		fmt.Fprintf(w, "# index unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "# HELP corpusd_index_runs Run IDs in the store index.")
+	fmt.Fprintln(w, "# TYPE corpusd_index_runs gauge")
+	fmt.Fprintf(w, "corpusd_index_runs %d\n", len(idx.Entries))
+	fmt.Fprintln(w, "# HELP corpusd_index_generations Readable generations across all runs.")
+	fmt.Fprintln(w, "# TYPE corpusd_index_generations gauge")
+	fmt.Fprintf(w, "corpusd_index_generations %d\n", idx.Gens())
+	fmt.Fprintln(w, "# HELP corpusd_index_damaged Unreadable directories flagged by the index.")
+	fmt.Fprintln(w, "# TYPE corpusd_index_damaged gauge")
+	fmt.Fprintf(w, "corpusd_index_damaged %d\n", idx.DamagedCount())
+}

@@ -1,0 +1,37 @@
+package corpusd
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ListenAndServe binds addr (":0" picks a free port), reports the bound
+// address through ready (which may be nil), and serves s until ctx is
+// canceled, then shuts down gracefully — in-flight responses finish,
+// new connections are refused. A clean shutdown returns nil.
+func ListenAndServe(ctx context.Context, addr string, s *Server, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	srv := &http.Server{Handler: s}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+	err = srv.Serve(ln)
+	<-done
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
