@@ -1,0 +1,60 @@
+// Command gossiplint runs the repo's invariant analyzers (see
+// internal/lint) over Go packages and exits nonzero on any finding —
+// the static half of the determinism/durability story whose dynamic
+// half is the zero-tolerance regression gates.
+//
+// Usage:
+//
+//	go run ./cmd/gossiplint ./...          # the whole module
+//	go run ./cmd/gossiplint ./internal/... # a subtree
+//	go run ./cmd/gossiplint -list          # describe the analyzers
+//
+// Intentional violations are annotated in the source, not silenced in
+// config:
+//
+//	conn.SetDeadline(time.Now().Add(2 * time.Second)) //gossiplint:allow detlint wire deadline, not simulation state
+//
+// A directive without a reason (or naming an unknown analyzer) is
+// itself an error, so every exception in the tree stays auditable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossip/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossiplint:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(pkg, lint.Suite()) {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

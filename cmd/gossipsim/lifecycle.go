@@ -101,7 +101,7 @@ func pruneMain(args []string, stdout, stderr io.Writer) int {
 	plan, err := store.Prune(gossip.CorpusPruneOptions{
 		Keep:    *keep,
 		MaxAge:  *age,
-		Now:     time.Now(),
+		Now:     time.Now(), //gossiplint:allow detlint prune ages against operator wall time, not simulation state
 		Damaged: *damaged,
 		DryRun:  *dryRun,
 	})

@@ -27,13 +27,17 @@ import (
 	"gossip/internal/xrand"
 )
 
-// benchResult is one kernel's measurement in BENCH_core.json.
+// benchResult is one kernel's measurement in BENCH_core.json. Each
+// entry carries the code revision it was measured at — the same stamp
+// archived runs get via Manifest.Revision — so entries merged or
+// diffed across snapshots stay attributable.
 type benchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	Revision    string  `json:"revision,omitempty"`
 }
 
 // benchFile is the BENCH_core.json schema.
@@ -48,7 +52,12 @@ type benchFile struct {
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output file (- for stdout)")
 	quick := flag.Bool("quick", false, "CI-sized inputs (faster, noisier)")
+	rev := flag.String("rev", "", "code revision to stamp (default: the build's vcs revision)")
 	flag.Parse()
+	if *rev == "" {
+		// Empty under `go run` (no vcs stamping); CI passes -rev explicitly.
+		*rev = corpus.BuildRevision()
+	}
 
 	// Kernel sizes. Full mode matches the scales ROADMAP perf notes use;
 	// quick mode shrinks everything so CI finishes in seconds.
@@ -122,7 +131,7 @@ func main() {
 
 	file := benchFile{
 		Go:         runtime.Version(),
-		Revision:   corpus.BuildRevision(),
+		Revision:   *rev,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Benchmarks: make([]benchResult, 0, len(kernels)),
@@ -136,6 +145,7 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Revision:    *rev,
 		})
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %6d allocs/op\n",
 			file.Benchmarks[len(file.Benchmarks)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())

@@ -267,4 +267,47 @@
 //
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.
+//
+// # Enforced invariants
+//
+// The guarantees above are enforced mechanically by gossiplint
+// (internal/lint, cmd/gossiplint), the repo's own static analysis
+// suite, run in CI over the whole module and locally via
+//
+//	go run ./cmd/gossiplint ./...
+//
+// Four analyzers, one per load-bearing invariant:
+//
+//	detlint  bit-identical determinism. Module-wide it flags wall-clock
+//	         reads (time.Now/Since) and the global math/rand stream; in
+//	         the deterministic packages (internal/core, phone, runner,
+//	         walk, graph, stats, sweep, xrand) it also flags multi-case
+//	         selects (scheduler-order resolution) and order-sensitive
+//	         work inside range-over-map — collecting values, non-keyed
+//	         writes, float accumulation, printing, sending — while
+//	         sanctioning the sorted-keys idiom: extracting keys to a
+//	         slice for sorting is exactly how the rule is satisfied.
+//	lockio   the gossipd locking rule: no mutex held across network
+//	         I/O, time.Sleep, or blocking channel operations. Snapshot
+//	         under the lock, communicate outside it; selects with a
+//	         default case are non-blocking and pass.
+//	sinkerr  corpus durability: errors from Close/Flush/Sync on
+//	         writers must be checked — a dropped fsync error is a
+//	         silently torn corpus. The disciplined idioms stay legal:
+//	         error-path cleanup next to a checked success-path close,
+//	         defer-close of read-only os.Open files, connection
+//	         teardown.
+//	viewenc  the no-drift guarantee: corpus view types are JSON-encoded
+//	         only through the canonical corpus.WriteJSON encoder, so
+//	         CLI and daemon bytes cannot diverge.
+//
+// Intentional exceptions are suppressed in place, auditable by grep:
+//
+//	//gossiplint:allow <analyzer> <reason...>
+//
+// on the offending line or the line directly above. The reason is
+// mandatory — a directive with an unknown analyzer or no reason is
+// itself a build-failing diagnostic. The suite's own tests live in
+// internal/lint with analysistest-style fixtures under
+// internal/lint/testdata.
 package gossip

@@ -632,7 +632,7 @@ func (s *Store) appendGen(m Manifest, recs []runner.CellRecord) (*Appended, erro
 		// A generation needs a creation instant for its name and for
 		// age-based pruning; a manifest without one (e.g. a merged run,
 		// whose provenance lives in its shards) is stamped at append.
-		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		m.CreatedAt = time.Now().UTC().Format(time.RFC3339) //gossiplint:allow detlint CreatedAt is provenance, excluded from the run ID and every byte-compare gate
 	}
 	var buf bytes.Buffer
 	if err := runner.WriteRecordJSONL(&buf, recs); err != nil {

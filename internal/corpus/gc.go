@@ -54,7 +54,7 @@ type PrunePlan struct {
 func (s *Store) Prune(o PruneOptions) (*PrunePlan, error) {
 	now := o.Now
 	if now.IsZero() {
-		now = time.Now()
+		now = time.Now() //gossiplint:allow detlint prune ages against operator wall time, not simulation state
 	}
 	plan := &PrunePlan{DryRun: o.DryRun}
 	entries, err := os.ReadDir(s.Dir)

@@ -74,7 +74,7 @@ func New(store *corpus.Store, mf *corpus.ManifestFile) (*Server, error) {
 
 // ServeHTTP dispatches and meters every request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := time.Now() //gossiplint:allow detlint request-latency metric; never touches corpus bytes
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
 	// The mux stamps the matched pattern onto the request in place, so
@@ -84,7 +84,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if pat == "" {
 		pat = "unmatched"
 	}
-	s.met.observe(pat, sw.code, time.Since(start))
+	s.met.observe(pat, sw.code, time.Since(start)) //gossiplint:allow detlint request-latency metric; never touches corpus bytes
 }
 
 // statusWriter records the response code for metrics.

@@ -169,9 +169,13 @@ func (g *Graph) Validate() error {
 			counts[[2]int32{v, u}]++
 		}
 	}
-	for k, c := range counts {
-		if counts[[2]int32{k[1], k[0]}] != c {
-			return fmt.Errorf("graph: asymmetric adjacency %v", k)
+	// Re-walk the adjacency in vertex order rather than ranging the
+	// counts map, so the first offending pair reported is deterministic.
+	for v := int32(0); int(v) < g.n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if counts[[2]int32{v, u}] != counts[[2]int32{u, v}] {
+				return fmt.Errorf("graph: asymmetric adjacency %v", [2]int32{v, u})
+			}
 		}
 	}
 	return nil

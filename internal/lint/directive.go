@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A comment of the form
+//
+//	//gossiplint:allow <analyzer> <reason...>
+//
+// suppresses that analyzer's diagnostics on the directive's own line
+// and on the line immediately below it (so it works both trailing a
+// statement and standing alone above one). The reason is mandatory:
+// every suppression in the tree must say why the invariant does not
+// apply, which is what makes the exceptions auditable with a grep.
+const directivePrefix = "//gossiplint:"
+
+// allowSet indexes directives by file and line.
+type allowSet map[string]map[int]map[string]bool // file → line → analyzer
+
+func (s allowSet) add(file string, line int, analyzer string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	byAnalyzer := byLine[line]
+	if byAnalyzer == nil {
+		byAnalyzer = make(map[string]bool)
+		byLine[line] = byAnalyzer
+	}
+	byAnalyzer[analyzer] = true
+}
+
+// matches reports whether d is suppressed by a directive on its line
+// or the line above.
+func (s allowSet) matches(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if byLine[line][d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans the package's comments for gossiplint
+// directives. Well-formed allows land in the returned set; malformed
+// ones — wrong verb, unknown analyzer, missing reason — come back as
+// diagnostics attributed to the "gossiplint" pseudo-analyzer, which no
+// directive can suppress.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	known := knownAnalyzers()
+	allows := make(allowSet)
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{Pos: fset.Position(pos), Analyzer: "gossiplint", Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != "allow" {
+					report(c.Pos(), "unknown gossiplint directive (only //gossiplint:allow <analyzer> <reason> is recognized)")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "gossiplint:allow needs an analyzer name and a reason")
+					continue
+				}
+				analyzer := fields[1]
+				if !known[analyzer] {
+					report(c.Pos(), "gossiplint:allow names unknown analyzer "+analyzer)
+					continue
+				}
+				if len(fields) < 3 {
+					report(c.Pos(), "gossiplint:allow "+analyzer+" is missing its reason — suppressions must say why")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows.add(pos.Filename, pos.Line, analyzer)
+			}
+		}
+	}
+	return allows, bad
+}

@@ -1,0 +1,144 @@
+// Package lint implements gossiplint, the repo's own static analysis
+// suite: a set of analyzers that mechanically enforce the invariants
+// the reproduction's claims rest on — bit-identical determinism in the
+// simulation packages (detlint), no mutex held across I/O in the
+// networked daemon (lockio), no dropped durability errors on writers
+// feeding the corpus (sinkerr), and no JSON encoding of corpus view
+// types outside the one canonical encoder (viewenc).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is built on the standard library
+// alone: packages are loaded via `go list -export` plus go/types with
+// gc export data, so the checker needs nothing beyond the toolchain.
+//
+// Intentional violations are suppressed — visibly and auditably — with
+// a directive on the offending line or the line directly above it:
+//
+//	//gossiplint:allow <analyzer> <reason...>
+//
+// A directive with a missing or unknown analyzer name, or no reason,
+// is itself a diagnostic: a suppression must say what it suppresses
+// and why, or it fails the build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked package through the Pass and reports findings via
+// Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //gossiplint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by the checker's
+	// help output and doc.go.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Suite returns the full gossiplint analyzer suite in report order.
+func Suite() []*Analyzer {
+	return []*Analyzer{DetLint, LockIO, SinkErr, ViewEnc}
+}
+
+// knownAnalyzers is the directive-name universe: a //gossiplint:allow
+// must name one of these even when only a subset of the suite runs.
+func knownAnalyzers() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Suite() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Check runs analyzers over pkg, applies the package's
+// //gossiplint:allow directives, and returns the surviving diagnostics
+// (including any malformed-directive errors) sorted by position.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		a.Run(p)
+	}
+
+	allows, out := parseDirectives(pkg.Fset, pkg.Files)
+	for _, d := range raw {
+		if allows.matches(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedupe(out)
+}
+
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

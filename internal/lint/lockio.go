@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockio enforces gossipd's "per-node mutex is never held across I/O"
+// rule. A node's mutex serializes machine callbacks; holding it across
+// a network call, a sleep, or a blocking channel operation turns one
+// slow peer into a stalled node (and, transitively, a stalled
+// cluster), and under the race job it hides scheduler-order bugs
+// behind lock convoys.
+//
+// The analysis is intra-procedural and approximates control flow by
+// source order within each function: after seeing x.Lock() (sync
+// package method), x counts as held until x.Unlock(); defer
+// x.Unlock() holds x to the end of the function. While anything is
+// held, the analyzer flags: calls into package net (dials, conn
+// reads/writes, accepts), time.Sleep, channel sends and receives, and
+// selects without a default (blocking). Function literals are not
+// descended into — they execute elsewhere.
+
+// LockIO is the mutex-across-I/O analyzer.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "flag network I/O, time.Sleep, and blocking channel operations performed while a sync mutex is held",
+	Run:  runLockIO,
+}
+
+func runLockIO(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedRegions(p, fd.Body)
+		}
+	}
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp classifies a call as a sync lock/unlock and returns the
+// receiver key ("nd.mu"); it recognizes sync.Mutex, sync.RWMutex, and
+// types embedding them (the method's declaring package is sync).
+func mutexOp(info *types.Info, call *ast.CallExpr) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", opNone
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, opLock
+	case "Unlock", "RUnlock":
+		return key, opUnlock
+	}
+	return "", opNone
+}
+
+func checkLockedRegions(p *Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	// Channel operations that are a select clause's comm statement are
+	// judged at the select level (blocking or not), not individually.
+	selectComms := map[ast.Node]bool{}
+	heldName := func() string {
+		for k := range held {
+			// Reporting any one held mutex is enough; in practice a
+			// region holds exactly one.
+			return k
+		}
+		return ""
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if _, kind := mutexOp(p.Info, n.Call); kind == opUnlock {
+				// Deferred unlock: the mutex stays held for the rest of
+				// the function; leave it in the held set.
+				return false
+			}
+			return true
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				selectComms[cc.Comm] = true
+				if as, ok := cc.Comm.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+					selectComms[ast.Unparen(as.Rhs[0])] = true
+				}
+				if es, ok := cc.Comm.(*ast.ExprStmt); ok {
+					selectComms[ast.Unparen(es.X)] = true
+				}
+			}
+			if len(held) > 0 && !hasDefault {
+				p.Reportf(n.Pos(), "blocking select while %s is held; release the mutex before waiting", heldName())
+			}
+			return true
+		case *ast.SendStmt:
+			if len(held) > 0 && !selectComms[n] {
+				p.Reportf(n.Pos(), "channel send while %s is held; release the mutex before communicating", heldName())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 && !selectComms[n] {
+				p.Reportf(n.Pos(), "channel receive while %s is held; release the mutex before communicating", heldName())
+			}
+		case *ast.CallExpr:
+			if key, kind := mutexOp(p.Info, n); kind != opNone {
+				if kind == opLock {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return true
+			}
+			if len(held) > 0 {
+				checkHeldCall(p, n, heldName())
+			}
+		}
+		return true
+	})
+}
+
+func checkHeldCall(p *Pass, call *ast.CallExpr, mutex string) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return
+	}
+	switch funcPkgPath(fn) {
+	case "time":
+		if fn.Name() == "Sleep" {
+			p.Reportf(call.Pos(), "time.Sleep while %s is held stalls every contender; release the mutex before sleeping", mutex)
+		}
+	case "net", "net/http":
+		p.Reportf(call.Pos(), "network I/O (%s.%s) while %s is held; per the gossipd rule, mutexes are never held across I/O", funcPkgPath(fn), fn.Name(), mutex)
+	}
+}

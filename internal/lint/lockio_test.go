@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gossip/internal/lint"
+	"gossip/internal/lint/linttest"
+)
+
+func TestLockIO(t *testing.T) {
+	linttest.Run(t, "testdata", "lockio", lint.LockIO)
+}

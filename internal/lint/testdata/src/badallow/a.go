@@ -1,0 +1,30 @@
+// The malformed-directive fixture: every directive here is broken in a
+// different way, and each must produce a gossiplint error — a
+// suppression that does not say what it suppresses and why is itself a
+// finding. The unsuppressed time.Now proves a broken directive also
+// fails to suppress. Checked by TestMalformedDirectives directly (the
+// diagnostics land on the comment lines, where want comments cannot
+// sit).
+package badallow
+
+import "time"
+
+func missingEverything() time.Time {
+	//gossiplint:allow
+	return time.Now()
+}
+
+func unknownVerb() time.Time {
+	//gossiplint:silence detlint some reason
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//gossiplint:allow nosuchanalyzer a perfectly good reason
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//gossiplint:allow detlint
+	return time.Now()
+}

@@ -1,0 +1,92 @@
+// The lockio fixture: network I/O, sleeps, and blocking channel
+// operations under a held sync mutex are flagged; the sanctioned shape
+// — snapshot under the lock, do I/O outside it (gossipd's per-node
+// rule) — stays silent, as do non-blocking selects.
+package lockio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+}
+
+func (s *srv) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) badReadHeld(buf []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn.Read(buf) // want `network I/O \(net\.Read\) while s.mu is held`
+}
+
+func (s *srv) badDial(addr string) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	c, err := net.Dial("tcp", addr) // want `network I/O \(net\.Dial\) while s.rw is held`
+	if err != nil {
+		return err
+	}
+	return c.Close() // want `network I/O \(net\.Close\) while s.rw is held`
+}
+
+func (s *srv) goodSnapshotThenIO(payload []byte) error {
+	s.mu.Lock()
+	n := len(payload)
+	s.mu.Unlock()
+	_, err := s.conn.Write(payload[:n]) // I/O outside the lock: the gossipd idiom
+	return err
+}
+
+func (s *srv) badSend(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *srv) badRecv(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want `channel receive while s.mu is held`
+}
+
+func (s *srv) badSelect(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s.mu is held`
+	case <-a:
+	case <-b:
+	}
+}
+
+func (s *srv) goodNonBlockingPoll(ch chan int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *srv) goodRecvAfterUnlock(ch chan int) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return <-ch
+}
+
+func (s *srv) allowedSend(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//gossiplint:allow lockio fixture proves the suppression directive works
+	ch <- 1
+}

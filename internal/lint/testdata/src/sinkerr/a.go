@@ -1,0 +1,90 @@
+// The sinkerr fixture: dropped Close/Flush/Sync errors on writers are
+// flagged — including defers and blank assignments — while the
+// sanctioned corpus idioms stay silent: error-path cleanup next to a
+// checked close, defer-close of a read-only os.Open file, and network
+// connection teardown. RecWriter exercises the SinkTypes list (a
+// corpus-feeding writer with no Write method); the test registers it.
+package sinkerr
+
+import (
+	"bufio"
+	"net"
+	"os"
+)
+
+func droppedClose(path string, data []byte) {
+	f, _ := os.Create(path)
+	_, _ = f.Write(data)
+	f.Close() // want `error from f\.Close dropped`
+}
+
+func droppedSync(f *os.File) {
+	f.Sync() // want `error from f\.Sync dropped`
+}
+
+func droppedFlush(w *bufio.Writer) {
+	w.Flush() // want `error from w\.Flush dropped`
+}
+
+func blankClose(f *os.File) {
+	_ = f.Close() // want `error from f\.Close dropped`
+}
+
+func deferDropped(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error from f\.Close dropped`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func errorPathIdiom(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // sanctioned: the success path checks Close below
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readOnlyFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // sanctioned: read-only open, nothing buffered
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return err
+}
+
+func connTeardown(c net.Conn) error {
+	defer c.Close() // sanctioned: conn teardown is not corpus durability
+	_, err := c.Write([]byte("x"))
+	return err
+}
+
+// RecWriter stands in for a record-level corpus writer: it feeds the
+// store but exposes no Write method, so only the SinkTypes list (set
+// by the test) makes sinkerr see it.
+type RecWriter struct{}
+
+func (RecWriter) Close() error { return nil }
+
+func droppedRecWriter(w RecWriter) {
+	w.Close() // want `error from w\.Close dropped`
+}
+
+func allowedClose(f *os.File) {
+	//gossiplint:allow sinkerr fixture proves the suppression directive works
+	f.Close()
+}

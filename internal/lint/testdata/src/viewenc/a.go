@@ -1,0 +1,41 @@
+// The viewenc fixture: JSON-encoding a corpus view type anywhere but
+// the canonical corpus.WriteJSON encoder is flagged — through
+// pointers, slices, and encoders alike — while WriteJSON calls and
+// non-view types stay silent.
+package viewenc
+
+import (
+	"encoding/json"
+	"io"
+
+	"viewenc/corpus"
+)
+
+func marshalView(v corpus.RunSummary) ([]byte, error) {
+	return json.Marshal(v) // want `json\.Marshal of corpus view type corpus\.RunSummary`
+}
+
+func marshalViewSlice(v []corpus.RunSummary) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ") // want `json\.MarshalIndent of corpus view type corpus\.RunSummary`
+}
+
+func encodeViewPtr(w io.Writer, v *corpus.CompareResult) error {
+	return json.NewEncoder(w).Encode(v) // want `\(\*json\.Encoder\)\.Encode of corpus view type corpus\.CompareResult`
+}
+
+func canonicalPath(w io.Writer, v corpus.RunSummary) error {
+	return corpus.WriteJSON(w, v) // sanctioned: the one encoder
+}
+
+type localConfig struct {
+	Name string `json:"name"`
+}
+
+func nonViewType(v localConfig) ([]byte, error) {
+	return json.Marshal(v) // not a view type: fine
+}
+
+func allowedMarshal(v corpus.RunSummary) ([]byte, error) {
+	//gossiplint:allow viewenc fixture proves the suppression directive works
+	return json.Marshal(v)
+}

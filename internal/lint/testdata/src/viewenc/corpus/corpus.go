@@ -1,0 +1,33 @@
+// A stand-in for internal/corpus's view layer: the package is named
+// corpus and declares view types, so viewenc treats it exactly like
+// the real one. WriteJSON is the canonical encoder — its own encoding
+// calls are exempt; any other encoder in this package is not.
+package corpus
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type RunSummary struct {
+	ID string `json:"id"`
+}
+
+type CompareResult struct {
+	Regressed bool `json:"regressed"`
+}
+
+// WriteJSON is the canonical encoder: one Encoder, one newline
+// policy, shared by every consumer. Encoding view types here is the
+// sanctioned path.
+func WriteJSON(w io.Writer, v any) error {
+	probe := RunSummary{ID: "canonical"}
+	if _, err := json.Marshal(probe); err != nil { // exempt: inside the canonical encoder
+		return err
+	}
+	return json.NewEncoder(w).Encode(v)
+}
+
+func rogueSiblingEncoder(v RunSummary) ([]byte, error) {
+	return json.Marshal(v) // want `json\.Marshal of corpus view type corpus\.RunSummary`
+}
