@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/gossiplint ./...          # the whole module
-//	go run ./cmd/gossiplint ./internal/... # a subtree
-//	go run ./cmd/gossiplint -list          # describe the analyzers
+//	go run ./cmd/gossiplint ./...                  # the whole module
+//	go run ./cmd/gossiplint ./internal/...         # a subtree
+//	go run ./cmd/gossiplint -list                  # describe the analyzers
+//	go run ./cmd/gossiplint -only seedflow,golife ./...
+//	go run ./cmd/gossiplint -json ./...            # machine-readable report
+//	go run ./cmd/gossiplint -sarif lint.sarif ./...
+//	go run ./cmd/gossiplint -allows ./...          # suppression inventory
 //
 // Intentional violations are annotated in the source, not silenced in
 // config:
@@ -16,45 +20,111 @@
 //
 // A directive without a reason (or naming an unknown analyzer) is
 // itself an error, so every exception in the tree stays auditable.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gossip/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "describe the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, a := range lint.Suite() {
-			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
-		}
-		return
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gossiplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "describe the selected analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
+		exclude = fs.String("exclude", "", "comma-separated analyzer names to skip")
+		jsonOut = fs.Bool("json", false, "write the findings as a JSON report to stdout")
+		sarif   = fs.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
+		allows  = fs.Bool("allows", false, "print the //gossiplint:allow inventory and exit")
+		chdir   = fs.String("C", ".", "load packages relative to this directory")
+		summ    = fs.Bool("summaries", false, "dump the interprocedural summary facts and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	patterns := flag.Args()
+	analyzers, err := lint.SelectAnalyzers(*only, *exclude)
+	if err != nil {
+		fmt.Fprintln(stderr, "gossiplint:", err)
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-8s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns...)
+	pkgs, err := lint.Load(*chdir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gossiplint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gossiplint:", err)
+		return 2
 	}
 
-	failed := false
-	for _, pkg := range pkgs {
-		for _, d := range lint.Check(pkg, lint.Suite()) {
-			fmt.Println(d)
-			failed = true
+	if *allows {
+		fmt.Fprint(stdout, lint.FormatAllows(lint.AllowInventory(pkgs, *chdir)))
+		return 0
+	}
+
+	mod := lint.NewModule(pkgs)
+	if *summ {
+		fmt.Fprint(stdout, mod.Summaries())
+		return 0
+	}
+	diags := lint.CheckModule(mod, analyzers)
+	report := lint.NewReport(analyzers, diags, *chdir)
+
+	if *sarif != "" {
+		if err := emitSARIF(*sarif, report, stdout); err != nil {
+			fmt.Fprintln(stderr, "gossiplint:", err)
+			return 2
 		}
 	}
-	if failed {
-		os.Exit(1)
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(stdout, report); err != nil {
+			fmt.Fprintln(stderr, "gossiplint:", err)
+			return 2
+		}
+	case *sarif != "-":
+		for _, f := range report.Findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
 	}
+
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emitSARIF writes the SARIF rendering of the report to path, or to
+// stdout for "-".
+func emitSARIF(path string, report lint.Report, stdout io.Writer) error {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, lint.SARIF(report)); err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

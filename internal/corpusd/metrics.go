@@ -1,6 +1,7 @@
 package corpusd
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"sort"
@@ -46,9 +47,13 @@ func (m *metricSet) observe(path string, code int, d time.Duration) {
 // handleMetrics answers GET /metrics: the request counters plus the
 // index gauges (runs, generations, damaged directories) read from the
 // current snapshot, so a scrape doubles as a cheap store health probe.
+// The counter section is rendered into a buffer under m.mu and written
+// to the client after unlocking — a slow scraper must not stall every
+// request trying to observe() its latency.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := s.met
+	var buf bytes.Buffer
 	m.mu.Lock()
 	keys := make([]reqKey, 0, len(m.requests))
 	for k := range m.requests {
@@ -60,23 +65,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		return keys[i].code < keys[j].code
 	})
-	fmt.Fprintln(w, "# HELP corpusd_requests_total Requests served, by route pattern and status code.")
-	fmt.Fprintln(w, "# TYPE corpusd_requests_total counter")
+	fmt.Fprintln(&buf, "# HELP corpusd_requests_total Requests served, by route pattern and status code.")
+	fmt.Fprintln(&buf, "# TYPE corpusd_requests_total counter")
 	for _, k := range keys {
-		fmt.Fprintf(w, "corpusd_requests_total{path=%q,code=%q} %d\n", k.path, strconv.Itoa(k.code), m.requests[k])
+		fmt.Fprintf(&buf, "corpusd_requests_total{path=%q,code=%q} %d\n", k.path, strconv.Itoa(k.code), m.requests[k])
 	}
 	paths := make([]string, 0, len(m.counts))
 	for p := range m.counts {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	fmt.Fprintln(w, "# HELP corpusd_request_seconds Cumulative request latency, by route pattern.")
-	fmt.Fprintln(w, "# TYPE corpusd_request_seconds summary")
+	fmt.Fprintln(&buf, "# HELP corpusd_request_seconds Cumulative request latency, by route pattern.")
+	fmt.Fprintln(&buf, "# TYPE corpusd_request_seconds summary")
 	for _, p := range paths {
-		fmt.Fprintf(w, "corpusd_request_seconds_sum{path=%q} %g\n", p, m.seconds[p])
-		fmt.Fprintf(w, "corpusd_request_seconds_count{path=%q} %d\n", p, m.counts[p])
+		fmt.Fprintf(&buf, "corpusd_request_seconds_sum{path=%q} %g\n", p, m.seconds[p])
+		fmt.Fprintf(&buf, "corpusd_request_seconds_count{path=%q} %d\n", p, m.counts[p])
 	}
 	m.mu.Unlock()
+	w.Write(buf.Bytes())
 
 	idx, err := s.snapshot()
 	if err != nil {

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The suppression inventory. Every //gossiplint:allow in the tree is a
+// standing exception to an enforced invariant; this scanner collects
+// them all — analyzer, location, reason — so doc.go can publish the
+// full list and a test can hold the published list equal to the tree.
+
+// An Allow is one well-formed suppression directive found in source.
+type Allow struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Reason   string `json:"reason"`
+}
+
+// AllowInventory scans the loaded packages for well-formed
+// //gossiplint:allow directives and returns them sorted by (file,
+// line). Paths are relativized to baseDir like report findings.
+// Malformed directives are not inventoried — CheckModule already
+// turns those into findings.
+func AllowInventory(pkgs []*Package, baseDir string) []Allow {
+	var out []Allow
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+					if len(fields) < 3 || fields[0] != "allow" || !knownAnalyzers()[fields[1]] {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, Allow{
+						Analyzer: fields[1],
+						File:     relPath(baseDir, pos.Filename),
+						Line:     pos.Line,
+						Reason:   strings.Join(fields[2:], " "),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// FormatAllows renders the inventory one line per directive:
+//
+//	<file>:<line>: <analyzer>: <reason>
+func FormatAllows(allows []Allow) string {
+	var b strings.Builder
+	for _, a := range allows {
+		fmt.Fprintf(&b, "%s:%d: %s: %s\n", a.File, a.Line, a.Analyzer, a.Reason)
+	}
+	return b.String()
+}

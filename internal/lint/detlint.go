@@ -57,8 +57,9 @@ var randConstructors = map[string]bool{
 // DetLint is the determinism analyzer.
 var DetLint = &Analyzer{
 	Name: "detlint",
-	Doc: "flag wall-clock reads (time.Now/Since), global math/rand draws, and — in the deterministic packages — " +
-		"multi-case selects and order-sensitive iteration over maps",
+	Doc: "flag wall-clock reads (time.Now/Since), global math/rand draws — directly, through function values, and " +
+		"(in the deterministic packages) transitively through in-module call chains — plus multi-case selects " +
+		"and order-sensitive iteration over maps in the deterministic packages",
 	Run: runDetLint,
 }
 
@@ -67,8 +68,12 @@ func runDetLint(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFuncValueBindings(p, n.Body, det)
+				}
 			case *ast.CallExpr:
-				checkDetCall(p, n)
+				checkDetCall(p, n, det)
 			case *ast.SelectStmt:
 				if det {
 					checkSelect(p, n)
@@ -83,14 +88,14 @@ func runDetLint(p *Pass) {
 	}
 }
 
-func checkDetCall(p *Pass, call *ast.CallExpr) {
+func checkDetCall(p *Pass, call *ast.CallExpr, det bool) {
 	fn := calleeFunc(p.Info, call)
 	if fn == nil {
 		return
 	}
 	switch path := funcPkgPath(fn); path {
 	case "time":
-		if name := fn.Name(); name == "Now" || name == "Since" {
+		if name := fn.Name(); name == "Now" || name == "Since" || name == "Until" {
 			p.Reportf(call.Pos(), "time.%s reads the wall clock; results must be functions of (grid, seed) — derive timestamps from provenance or annotate //gossiplint:allow detlint <why>", name)
 		}
 	case "math/rand", "math/rand/v2":
@@ -99,7 +104,112 @@ func checkDetCall(p *Pass, call *ast.CallExpr) {
 			return
 		}
 		p.Reportf(call.Pos(), "%s.%s draws from the global math/rand stream, which is shared and seed-free; use internal/xrand with an explicit seed", path, fn.Name())
+	default:
+		// The interprocedural half: in a deterministic package, calling
+		// an in-module function whose summary says it reaches the clock
+		// or the global rand stream is the same violation laundered
+		// through a helper — even when the helper's own site carries an
+		// allow directive for its legitimate use.
+		if !det || p.Mod == nil || !p.Mod.HasBody(fn) {
+			return
+		}
+		s := p.Mod.SummaryOf(fn)
+		if s.Has(FactClock) {
+			p.Reportf(call.Pos(), "call to %s transitively reads the wall clock (%s); results must be functions of (grid, seed)",
+				DisplayFunc(fn), p.Mod.FactChainString(fn, FactClock))
+		}
+		if s.Has(FactGlobalRand) {
+			p.Reportf(call.Pos(), "call to %s transitively draws from the global math/rand stream (%s); use internal/xrand with an explicit seed",
+				DisplayFunc(fn), p.Mod.FactChainString(fn, FactGlobalRand))
+		}
 	}
+}
+
+// checkFuncValueBindings catches nondeterminism laundered through
+// function values: t := time.Now; t(). A local bound to a wall-clock
+// or global-rand function (directly, or — in deterministic packages —
+// to an in-module function whose summary reaches one) is flagged at
+// every call through it.
+func checkFuncValueBindings(p *Pass, body *ast.BlockStmt, det bool) {
+	bound := map[types.Object]*types.Func{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		var fn *types.Func
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.Ident:
+			fn, _ = p.Info.Uses[e].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = p.Info.Uses[e.Sel].(*types.Func)
+		}
+		if fn == nil {
+			return
+		}
+		facts := ExtFacts(fn)
+		if p.Mod != nil && p.Mod.HasBody(fn) {
+			if !det {
+				return // in-module laundering is a deterministic-package concern
+			}
+			facts = p.Mod.SummaryOf(fn)
+		}
+		if facts.Has(FactClock | FactGlobalRand) {
+			bound[obj] = fn
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if len(bound) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn := bound[p.Info.Uses[id]]
+		if fn == nil {
+			return true
+		}
+		facts := ExtFacts(fn)
+		if p.Mod != nil && p.Mod.HasBody(fn) {
+			facts = p.Mod.SummaryOf(fn)
+		}
+		switch {
+		case facts.Has(FactClock):
+			p.Reportf(call.Pos(), "call through %s reaches %s, which reads the wall clock; results must be functions of (grid, seed)", id.Name, DisplayFunc(fn))
+		case facts.Has(FactGlobalRand):
+			p.Reportf(call.Pos(), "call through %s reaches %s, which draws from the global math/rand stream; use internal/xrand with an explicit seed", id.Name, DisplayFunc(fn))
+		}
+		return true
+	})
 }
 
 func checkSelect(p *Pass, sel *ast.SelectStmt) {

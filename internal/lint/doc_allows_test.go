@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"slices"
+	"testing"
+
+	"gossip/internal/lint"
+)
+
+// TestDocAllowInventory holds doc.go's published list of standing
+// //gossiplint:allow exceptions equal to the tree: every directive in
+// shipped source must appear in the doc (deduplicated to file,
+// analyzer, reason), and the doc must not list directives that no
+// longer exist.
+func TestDocAllowInventory(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	seen := map[string]bool{}
+	for _, a := range lint.AllowInventory(pkgs, "../..") {
+		line := fmt.Sprintf("%s %s: %s", a.File, a.Analyzer, a.Reason)
+		if !seen[line] {
+			seen[line] = true
+			want = append(want, line)
+		}
+	}
+
+	doc, err := os.ReadFile("../../doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^//\t(\S+\.go \S+: .+)$`)
+	var got []string
+	for _, m := range re.FindAllStringSubmatch(string(doc), -1) {
+		got = append(got, m[1])
+	}
+
+	if !slices.Equal(got, want) {
+		t.Errorf("doc.go allow inventory is out of sync with the tree")
+		for _, l := range want {
+			if !slices.Contains(got, l) {
+				t.Errorf("missing from doc.go:\n\t%s", l)
+			}
+		}
+		for _, l := range got {
+			if !slices.Contains(want, l) {
+				t.Errorf("stale in doc.go:\n\t%s", l)
+			}
+		}
+	}
+}

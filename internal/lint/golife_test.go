@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gossip/internal/lint"
+	"gossip/internal/lint/linttest"
+)
+
+func TestGoLife(t *testing.T) {
+	// Enroll the fixture's import path in the lifetime-discipline set so
+	// the spawn rules apply to it like they do to internal/gossipd.
+	saved := lint.LifetimePackagePaths
+	lint.LifetimePackagePaths = append(append([]string{}, saved...), "golife")
+	defer func() { lint.LifetimePackagePaths = saved }()
+
+	linttest.Run(t, "testdata", "golife", lint.GoLife)
+}

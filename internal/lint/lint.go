@@ -1,15 +1,21 @@
 // Package lint implements gossiplint, the repo's own static analysis
 // suite: a set of analyzers that mechanically enforce the invariants
 // the reproduction's claims rest on — bit-identical determinism in the
-// simulation packages (detlint), no mutex held across I/O in the
-// networked daemon (lockio), no dropped durability errors on writers
-// feeding the corpus (sinkerr), and no JSON encoding of corpus view
-// types outside the one canonical encoder (viewenc).
+// simulation packages (detlint), goroutine lifetime bounds in the
+// daemon packages (golife), no mutex held across I/O in the networked
+// daemon (lockio), sanctioned seed lineage for every RNG (seedflow),
+// no dropped durability errors on writers feeding the corpus
+// (sinkerr), and no JSON encoding of corpus view types outside the one
+// canonical encoder (viewenc).
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer / Pass / Diagnostic) but is built on the standard library
 // alone: packages are loaded via `go list -export` plus go/types with
 // gc export data, so the checker needs nothing beyond the toolchain.
+// Since v2 the checker is interprocedural: every CheckModule run
+// builds a module-wide call graph with bottom-up per-function summary
+// facts (see Module), which detlint and lockio use to flag violations
+// reached through call chains, not just direct statements.
 //
 // Intentional violations are suppressed — visibly and auditably — with
 // a directive on the offending line or the line directly above it:
@@ -27,6 +33,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // An Analyzer is one named invariant check. Run inspects a single
@@ -43,13 +50,16 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// A Pass carries one analyzer's view of one package.
+// A Pass carries one analyzer's view of one package, plus the
+// module-wide interprocedural engine (call graph and summary facts)
+// shared by every pass of one CheckModule run.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Mod      *Module
 
 	diags *[]Diagnostic
 }
@@ -79,7 +89,50 @@ func (d Diagnostic) String() string {
 
 // Suite returns the full gossiplint analyzer suite in report order.
 func Suite() []*Analyzer {
-	return []*Analyzer{DetLint, LockIO, SinkErr, ViewEnc}
+	return []*Analyzer{DetLint, GoLife, LockIO, SeedFlow, SinkErr, ViewEnc}
+}
+
+// SelectAnalyzers filters the suite by the -only / -exclude selectors
+// (comma-separated analyzer names; empty strings select everything).
+// Naming an unknown analyzer is an error, not a silent no-op.
+func SelectAnalyzers(only, exclude string) ([]*Analyzer, error) {
+	parse := func(s string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if s == "" {
+			return set, nil
+		}
+		known := knownAnalyzers()
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("lint: unknown analyzer %q (run -list for the suite)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	exclSet, err := parse(exclude)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range Suite() {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if exclSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // knownAnalyzers is the directive-name universe: a //gossiplint:allow
@@ -92,24 +145,40 @@ func knownAnalyzers() map[string]bool {
 	return m
 }
 
-// Check runs analyzers over pkg, applies the package's
-// //gossiplint:allow directives, and returns the surviving diagnostics
-// (including any malformed-directive errors) sorted by position.
+// Check runs analyzers over a single package, treated as its own
+// module. Cross-package summaries are absent; use CheckModule for the
+// interprocedural view.
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		p := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &raw,
-		}
-		a.Run(p)
-	}
+	return CheckModule(NewModule([]*Package{pkg}), analyzers)
+}
 
-	allows, out := parseDirectives(pkg.Fset, pkg.Files)
+// CheckModule runs analyzers over every package of the module, applies
+// the //gossiplint:allow directives, and returns the surviving
+// diagnostics (including any malformed-directive errors) sorted by
+// position.
+func CheckModule(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	var out []Diagnostic
+	allows := make(allowSet)
+	for _, pkg := range m.Pkgs {
+		for _, a := range analyzers {
+			p := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Mod:      m,
+				diags:    &raw,
+			}
+			a.Run(p)
+		}
+		pkgAllows, bad := parseDirectives(pkg.Fset, pkg.Files)
+		for file, byLine := range pkgAllows {
+			allows[file] = byLine
+		}
+		out = append(out, bad...)
+	}
 	for _, d := range raw {
 		if allows.matches(d) {
 			continue

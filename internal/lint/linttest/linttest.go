@@ -2,7 +2,9 @@
 // stand-in for golang.org/x/tools/go/analysis/analysistest. A fixture
 // is a directory under testdata/src: every .go file in it (and in each
 // subdirectory, loaded as its own importable package) is parsed and
-// type-checked against the real standard library, the analyzers run,
+// type-checked against the real standard library, the whole fixture
+// tree is analyzed as ONE module — so interprocedural summaries flow
+// across fixture packages exactly as they do across the real repo —
 // and the resulting diagnostics are matched 1:1 against expectation
 // comments of the form
 //
@@ -30,16 +32,42 @@ import (
 	"gossip/internal/lint"
 )
 
-// Run analyzes the fixture package testdata/src/<fixture> (plus its
-// subdirectory packages) with the given analyzers and matches
-// diagnostics against the fixtures' want comments.
+// Run analyzes the fixture package testdata/src/<fixture> plus its
+// subdirectory packages — together, as one module — with the given
+// analyzers and matches diagnostics against the fixtures' want
+// comments.
 func Run(t *testing.T, testdata, fixture string, analyzers ...*lint.Analyzer) {
 	t.Helper()
 	root := filepath.Join(testdata, "src")
-	for _, dir := range packageDirs(t, root, fixture) {
-		pkg := LoadPackage(t, root, dir)
-		checkWants(t, pkg, lint.Check(pkg, analyzers))
+	pkgs := LoadModule(t, root, packageDirs(t, root, fixture)...)
+	diags := lint.CheckModule(lint.NewModule(pkgs), analyzers)
+	checkWants(t, pkgs, diags)
+}
+
+// LoadModule loads the named fixture packages into one shared FileSet
+// with full type info, resolving imports against sibling fixture
+// packages first and the standard library's export data second. The
+// returned packages share identity with importer-resolved ones, so
+// lint.NewModule over the result sees every body.
+func LoadModule(t *testing.T, root string, paths ...string) []*lint.Package {
+	t.Helper()
+	l := newFixtureLoader(t, root)
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
+	return pkgs
+}
+
+// LoadPackage parses and type-checks one fixture package (path
+// relative to root, which doubles as its import path).
+func LoadPackage(t *testing.T, root, path string) *lint.Package {
+	t.Helper()
+	return LoadModule(t, root, path)[0]
 }
 
 // packageDirs lists fixture and every subdirectory that holds .go
@@ -69,24 +97,64 @@ func packageDirs(t *testing.T, root, fixture string) []string {
 	return dirs
 }
 
-// LoadPackage parses and type-checks one fixture package (path
-// relative to root, which doubles as its import path). Imports resolve
-// against sibling fixture packages first and the standard library's
-// export data second.
-func LoadPackage(t *testing.T, root, path string) *lint.Package {
-	t.Helper()
+// fixtureLoader loads fixture packages with one shared FileSet,
+// caching by import path so a package reached both directly and via an
+// import resolves to the same *lint.Package (and therefore the same
+// type objects and Info maps).
+type fixtureLoader struct {
+	t       *testing.T
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*lint.Package
+	loading map[string]bool
+}
+
+func newFixtureLoader(t *testing.T, root string) *fixtureLoader {
 	fset := token.NewFileSet()
-	imp := &fixtureImporter{root: root, fset: fset, cache: map[string]*types.Package{}}
-	files, err := parseDir(fset, filepath.Join(root, filepath.FromSlash(path)))
-	if err != nil {
-		t.Fatalf("parse fixture %s: %v", path, err)
+	return &fixtureLoader{
+		t:       t,
+		root:    root,
+		fset:    fset,
+		std:     stdImporter(t, root, fset),
+		pkgs:    map[string]*lint.Package{},
+		loading: map[string]bool{},
 	}
-	imp.std = stdImporter(t, root, fset)
-	pkg, err := lint.TypeCheck(path, fset, files, imp)
-	if err != nil {
-		t.Fatalf("typecheck fixture %s: %v", path, err)
+}
+
+func (l *fixtureLoader) load(path string) (*lint.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
 	}
-	return pkg
+	if l.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	files, err := parseDir(l.fset, filepath.Join(l.root, filepath.FromSlash(path)))
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := lint.TypeCheck(path, l.fset, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import makes the loader a types.Importer: fixture-relative paths are
+// loaded from source, everything else comes from std export data.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return l.std.Import(path)
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
 }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
@@ -153,37 +221,6 @@ func stdImporter(t *testing.T, root string, fset *token.FileSet) types.Importer 
 	return lint.NewExportImporter(fset, stdExports)
 }
 
-// fixtureImporter resolves fixture-relative import paths by
-// type-checking the referenced directory from source, and everything
-// else through the std export importer.
-type fixtureImporter struct {
-	root  string
-	fset  *token.FileSet
-	std   types.Importer
-	cache map[string]*types.Package
-}
-
-func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
-	if pkg, ok := fi.cache[path]; ok {
-		return pkg, nil
-	}
-	dir := filepath.Join(fi.root, filepath.FromSlash(path))
-	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
-		return fi.std.Import(path)
-	}
-	files, err := parseDir(fi.fset, dir)
-	if err != nil {
-		return nil, err
-	}
-	conf := types.Config{Importer: fi}
-	pkg, err := conf.Check(path, fi.fset, files, nil)
-	if err != nil {
-		return nil, err
-	}
-	fi.cache[path] = pkg
-	return pkg, nil
-}
-
 // wantRe matches one quoted expectation in a want comment — either an
 // interpreted string or a raw (backquoted) one, the latter being the
 // usual choice since diagnostic patterns are full of regexp escapes.
@@ -192,33 +229,36 @@ var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
 // wantLineRe finds the expectation list in a trailing comment.
 var wantLineRe = regexp.MustCompile("// want ([\"`].*)$")
 
-// checkWants matches diagnostics against want comments.
-func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+// checkWants matches diagnostics from the whole module against want
+// comments collected from every loaded package.
+func checkWants(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
 	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantLineRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, q := range wantRe.FindAllString(m[1], -1) {
-					pat, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantLineRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
 					}
-					k := key{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], re)
 				}
 			}
 		}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossip/internal/lint"
+)
+
+// writeModule lays out a throwaway single-package module for loader
+// error-path tests.
+func writeModule(t *testing.T, source string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module broken\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLoadTypeError: a package that fails type checking must surface a
+// positioned error — file:line in the message — not a panic and not a
+// silently skipped package.
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, "package broken\n\nfunc f() int { return \"not an int\" }\n")
+	pkgs, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load succeeded on a type-broken package: %v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "a.go:3") {
+		t.Errorf("error does not point at the broken line: %v", err)
+	}
+}
+
+// TestLoadSyntaxError: same contract for parse failures.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, "package broken\n\nfunc f( {\n")
+	pkgs, err := lint.Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load succeeded on a syntax-broken package: %v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "a.go:3") {
+		t.Errorf("error does not point at the broken line: %v", err)
+	}
+}
+
+// TestLoadBadPattern: an unresolvable pattern is an error, not an
+// empty result.
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeModule(t, "package broken\n")
+	if _, err := lint.Load(dir, "./nosuchdir"); err == nil {
+		t.Fatal("Load succeeded on a nonexistent pattern")
+	}
+}

@@ -13,20 +13,27 @@ import (
 // cluster), and under the race job it hides scheduler-order bugs
 // behind lock convoys.
 //
-// The analysis is intra-procedural and approximates control flow by
-// source order within each function: after seeing x.Lock() (sync
-// package method), x counts as held until x.Unlock(); defer
-// x.Unlock() holds x to the end of the function. While anything is
-// held, the analyzer flags: calls into package net (dials, conn
-// reads/writes, accepts), time.Sleep, channel sends and receives, and
-// selects without a default (blocking). Function literals are not
+// Lock tracking approximates control flow by source order within each
+// function: after seeing x.Lock() (sync package method), x counts as
+// held until x.Unlock(); defer x.Unlock() holds x to the end of the
+// function. While anything is held, the analyzer flags: calls into
+// package net (dials, conn reads/writes, accepts), time.Sleep, channel
+// sends and receives, selects without a default (blocking), and
+// formatting into a network writer (fmt.Fprintf to an
+// http.ResponseWriter or net.Conn). Function literals are not
 // descended into — they execute elsewhere.
+//
+// On top of the direct checks, the module engine's summaries make the
+// rule transitive: a call to an in-module function that *reaches*
+// network I/O or a blocking operation any number of frames down is
+// flagged at the call site, with a witness chain in the message.
 
 // LockIO is the mutex-across-I/O analyzer.
 var LockIO = &Analyzer{
 	Name: "lockio",
-	Doc:  "flag network I/O, time.Sleep, and blocking channel operations performed while a sync mutex is held",
-	Run:  runLockIO,
+	Doc: "flag network I/O, time.Sleep, and blocking channel operations performed while a sync mutex is held, " +
+		"including transitively through in-module call chains",
+	Run: runLockIO,
 }
 
 func runLockIO(p *Pass) {
@@ -143,6 +150,21 @@ func checkLockedRegions(p *Pass, body *ast.BlockStmt) {
 	})
 }
 
+// fmtWriterFuncs are the fmt functions whose first argument is the
+// io.Writer the formatted bytes go to.
+var fmtWriterFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// isNetWriterType reports whether t is a writer from the networked
+// world — a net.Conn, an http.ResponseWriter — so that formatting into
+// it is network I/O even though the callee is fmt or io.
+func isNetWriterType(t types.Type) bool {
+	switch typePkgPath(t) {
+	case "net", "net/http":
+		return true
+	}
+	return false
+}
+
 func checkHeldCall(p *Pass, call *ast.CallExpr, mutex string) {
 	fn := calleeFunc(p.Info, call)
 	if fn == nil {
@@ -155,5 +177,30 @@ func checkHeldCall(p *Pass, call *ast.CallExpr, mutex string) {
 		}
 	case "net", "net/http":
 		p.Reportf(call.Pos(), "network I/O (%s.%s) while %s is held; per the gossipd rule, mutexes are never held across I/O", funcPkgPath(fn), fn.Name(), mutex)
+	case "fmt":
+		if fmtWriterFuncs[fn.Name()] && len(call.Args) > 0 && isNetWriterType(p.TypeOf(call.Args[0])) {
+			p.Reportf(call.Pos(), "fmt.%s into a network writer while %s is held is network I/O under the lock; render to a buffer and write it after unlocking", fn.Name(), mutex)
+		}
+	case "io":
+		if (fn.Name() == "WriteString" || fn.Name() == "Copy") && len(call.Args) > 0 && isNetWriterType(p.TypeOf(call.Args[0])) {
+			p.Reportf(call.Pos(), "io.%s into a network writer while %s is held is network I/O under the lock; render to a buffer and write it after unlocking", fn.Name(), mutex)
+		}
+	default:
+		// The interprocedural half: an in-module callee whose summary
+		// reaches network I/O or can block stalls every contender just
+		// as surely as a direct net call — this is the laundering an
+		// intraprocedural checker cannot see.
+		if p.Mod == nil || !p.Mod.HasBody(fn) {
+			return
+		}
+		s := p.Mod.SummaryOf(fn)
+		switch {
+		case s.Has(FactIO):
+			p.Reportf(call.Pos(), "call to %s while %s is held transitively reaches network I/O (%s); per the gossipd rule, mutexes are never held across I/O",
+				DisplayFunc(fn), mutex, p.Mod.FactChainString(fn, FactIO))
+		case s.Has(FactBlocks):
+			p.Reportf(call.Pos(), "call to %s while %s is held can block (%s); release the mutex before waiting",
+				DisplayFunc(fn), mutex, p.Mod.FactChainString(fn, FactBlocks))
+		}
 	}
 }

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"gossip/internal/lint"
+	"gossip/internal/lint/linttest"
+)
+
+// TestModuleSummaries exercises the engine directly over the lockio
+// fixture: summary facts must propagate bottom-up through the call
+// graph, and witness chains must name the path to the root effect.
+func TestModuleSummaries(t *testing.T) {
+	pkgs := linttest.LoadModule(t, "testdata/src", "lockio")
+	m := lint.NewModule(pkgs)
+
+	wait, ok := pkgs[0].Types.Scope().Lookup("wait").(*types.Func)
+	if !ok {
+		t.Fatal("fixture function wait not found")
+	}
+	if s := m.SummaryOf(wait); !s.Has(lint.FactBlocks) {
+		t.Errorf("SummaryOf(wait) = %v, want blocks", s)
+	}
+	if got, want := m.FactChainString(wait, lint.FactBlocks), "lockio.wait → a channel receive"; got != want {
+		t.Errorf("FactChainString(wait, blocks) = %q, want %q", got, want)
+	}
+
+	// flush reaches the network two frames down (flush → rawWrite →
+	// Conn.Write); the summary carries both the I/O and the block.
+	sum := m.Summaries()
+	for _, want := range []string{
+		"srv.flush: doesIO|blocks",
+		"srv.rawWrite: doesIO|blocks",
+		"lockio.wait: blocks",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summaries() missing %q:\n%s", want, sum)
+		}
+	}
+
+	// A function outside the module falls back to the curated table.
+	if m.HasBody(wait) != true {
+		t.Errorf("HasBody(wait) = false, want true")
+	}
+}
+
+// TestFactsString pins the fact rendering used in witness chains and
+// the -summaries debug output.
+func TestFactsString(t *testing.T) {
+	if got := lint.Facts(0).String(); got != "pure" {
+		t.Errorf("Facts(0) = %q, want pure", got)
+	}
+	f := lint.FactIO | lint.FactBlocks
+	if got := f.String(); got != "doesIO|blocks" {
+		t.Errorf("Facts(IO|Blocks) = %q, want doesIO|blocks", got)
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// The reporting layer. Both machine formats — the plain JSON report
+// and SARIF 2.1.0 — are built from the same Report value and emitted
+// through the one encoder (WriteJSON), mirroring the corpus package's
+// discipline: compact encoding, HTML escaping off, trailing newline.
+// Equal findings therefore serialize to equal bytes, which is what
+// lets the CLI tests pin the output and lets CI artifacts diff
+// cleanly across runs.
+
+// ReportVersion identifies the report schema, bumped when a field
+// changes meaning.
+const ReportVersion = "gossiplint/2"
+
+// A Report is one machine-readable gossiplint run.
+type Report struct {
+	Version   string           `json:"version"`
+	Analyzers []ReportAnalyzer `json:"analyzers"`
+	Findings  []ReportFinding  `json:"findings"`
+}
+
+// A ReportAnalyzer describes one analyzer that ran.
+type ReportAnalyzer struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// A ReportFinding is one diagnostic with its path relativized to the
+// run's base directory (slash-separated, so reports are stable across
+// machines and operating systems).
+type ReportFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// NewReport assembles the report for one run. Paths under baseDir are
+// relativized; others pass through slash-cleaned.
+func NewReport(analyzers []*Analyzer, diags []Diagnostic, baseDir string) Report {
+	r := Report{
+		Version:   ReportVersion,
+		Analyzers: make([]ReportAnalyzer, 0, len(analyzers)),
+		Findings:  make([]ReportFinding, 0, len(diags)),
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, ReportAnalyzer{Name: a.Name, Doc: a.Doc})
+	}
+	for _, d := range diags {
+		r.Findings = append(r.Findings, ReportFinding{
+			File:     relPath(baseDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return r
+}
+
+// relPath relativizes path against base when possible, always
+// slash-separated.
+func relPath(base, path string) string {
+	if base != "" {
+		if abs, err := filepath.Abs(base); err == nil {
+			if absPath, err := filepath.Abs(path); err == nil {
+				if rel, err := filepath.Rel(abs, absPath); err == nil && !strings.HasPrefix(rel, "..") {
+					return filepath.ToSlash(rel)
+				}
+			}
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// WriteJSON encodes v compactly with a trailing newline — the one
+// encoder every gossiplint output format goes through.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// The minimal SARIF 2.1.0 shape: enough for GitHub code scanning and
+// editor SARIF viewers — tool driver with rules, one run, one result
+// per finding with a physical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF converts a Report to a SARIF 2.1.0 log. Every finding's rule
+// resolves: the analyzers that ran become rules, plus the "gossiplint"
+// pseudo-rule that malformed suppression directives are attributed to.
+func SARIF(r Report) any {
+	rules := make([]sarifRule, 0, len(r.Analyzers)+1)
+	for _, a := range r.Analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "gossiplint",
+		ShortDescription: sarifMessage{Text: "malformed //gossiplint:allow suppression directive"},
+	})
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "gossiplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gossip/internal/lint"
+	"gossip/internal/lint/linttest"
+)
+
+func TestSeedFlow(t *testing.T) {
+	// Enroll the fixture's import path in the deterministic set so the
+	// seed-lineage rules apply to it like they do to internal/walk.
+	saved := lint.DetPackagePaths
+	lint.DetPackagePaths = append(append([]string{}, saved...), "seedflow")
+	defer func() { lint.DetPackagePaths = saved }()
+
+	linttest.Run(t, "testdata", "seedflow", lint.SeedFlow)
+}

@@ -1,0 +1,136 @@
+// The golife fixture: every spawned goroutine must show a lifetime
+// bound — a WaitGroup.Done, a done-channel close, a cancellation
+// receive, or a range over a channel — in its body, whether the body
+// is a literal or a named function resolved through the module engine.
+// WaitGroup.Add inside the spawned body is flagged separately: it
+// races the matching Wait. The test registers this package path as a
+// lifetime-discipline package.
+package golife
+
+import (
+	"context"
+	"sync"
+
+	"golife/pump"
+)
+
+type daemon struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func work() {}
+
+func (d *daemon) goodDone() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		work()
+	}()
+}
+
+func (d *daemon) goodCloser(ready chan struct{}) {
+	go func() {
+		work()
+		close(ready)
+	}()
+}
+
+func (d *daemon) goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func (d *daemon) goodSelect(ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-d.done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (d *daemon) goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func (d *daemon) badFireAndForget() {
+	go func() { // want `spawned goroutine has no visible lifetime bound`
+		work()
+	}()
+}
+
+func (d *daemon) badAddInside() {
+	go func() {
+		d.wg.Add(1) // want `d\.wg\.Add inside the spawned goroutine races the matching Wait`
+		defer d.wg.Done()
+		work()
+	}()
+}
+
+// A named in-module spawn: the bound lives one frame down, in loop's
+// declaration.
+func (d *daemon) loop() {
+	defer d.wg.Done()
+	<-d.done
+}
+
+func (d *daemon) goodNamed() {
+	d.wg.Add(1)
+	go d.loop()
+}
+
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func (d *daemon) badNamed() {
+	go spin() // want `goroutine spawned as golife.spin has no visible lifetime bound in its body`
+}
+
+// register hides an Add inside its own body; spawning it races the
+// Wait even though the body is bounded.
+func (d *daemon) register() {
+	d.wg.Add(1)
+	defer d.wg.Done()
+	<-d.done
+}
+
+func (d *daemon) badAddInsideNamed() {
+	go d.register() // want `daemon\.register, spawned here, calls d\.wg\.Add in its body, which races the matching Wait`
+}
+
+// The cross-package cases: Drain's range bound is visible through the
+// module; Spin has none.
+func (d *daemon) goodCrossPkg(ch chan int) {
+	go pump.Drain(ch)
+}
+
+func (d *daemon) badCrossPkg() {
+	go pump.Spin() // want `goroutine spawned as pump.Spin has no visible lifetime bound in its body`
+}
+
+// A spawned function value: the body is invisible, so the spawn is
+// flagged — if the analyzer cannot see the bound, neither can a
+// reviewer.
+func (d *daemon) badOpaque(f func()) {
+	go f() // want `cannot see the body of the function spawned here`
+}
+
+func (d *daemon) allowedFireAndForget() {
+	//gossiplint:allow golife fixture proves the suppression directive works
+	go work()
+}

@@ -1,0 +1,19 @@
+// Package pump is the cross-package half of the golife fixture: the
+// spawning package's go statements are judged by the bodies declared
+// here, which only the module engine can resolve.
+package pump
+
+// Drain consumes ch until the feeder closes it; the range over the
+// channel is the goroutine's lifetime bound.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Spin never parks on anything: spawning it leaks a goroutine.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}

@@ -1,0 +1,8 @@
+// Package runner is the fixture stand-in for gossip/internal/runner's
+// seed derivation: CellSeed is part of seedflow's sanctioned lineage.
+package runner
+
+// CellSeed derives the seed for one sweep cell.
+func CellSeed(master uint64, cell, rep int) uint64 {
+	return (master ^ uint64(cell)<<32 ^ uint64(rep)) * 0x9e3779b97f4a7c15
+}
