@@ -8,6 +8,12 @@ func TestRunServe(t *testing.T) {
 	}
 }
 
+func TestRunElect(t *testing.T) {
+	if code := run([]string{"elect", "-n", "8", "-delay", "50us"}); code != 0 {
+		t.Fatalf("elect exited %d", code)
+	}
+}
+
 func TestRunUsage(t *testing.T) {
 	if code := run(nil); code != 2 {
 		t.Fatalf("bare invocation exited %d, want 2", code)

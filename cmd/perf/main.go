@@ -8,8 +8,9 @@
 //
 // The kernels cover the hot paths of a sweep cell: a full dense-tracker
 // push–pull run, one tracked round in isolation, the sampled estimator
-// at a size beyond the dense tracker's comfort, the graph generators,
-// and the dial+incoming substrate step the transports sit on.
+// at a size beyond the dense tracker's comfort, full memory-model and
+// leader-election runs on the machine seam, the graph generators, and
+// the dial+incoming substrate step the transports sit on.
 package main
 
 import (
@@ -95,6 +96,25 @@ func main() {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.PushPullSampled(g, uint64(i+1), kSampled, 0)
+			}
+		}},
+		{fmt.Sprintf("memory_run/n=%d", nRun), func(b *testing.B) {
+			// Algorithm 2 end to end on the seam: spanning trees, gather
+			// replay, and tree broadcast as state machines.
+			g := graph.ErdosRenyi(nRun, graph.PLogSquared(nRun), xrand.New(1))
+			p := core.TunedMemoryParams(nRun)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.MemoryGossip(g, p, uint64(i+1), 0)
+			}
+		}},
+		{fmt.Sprintf("leader_run/n=%d", nRun), func(b *testing.B) {
+			// Algorithm 3 on the seam: candidate push then open-avoid pulls.
+			g := graph.ErdosRenyi(nRun, graph.PLogSquared(nRun), xrand.New(1))
+			p := core.DefaultLeaderParams(nRun)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ElectLeader(g, p, uint64(i+1))
 			}
 		}},
 		{fmt.Sprintf("gen_erdosrenyi/n=%d", nGen), func(b *testing.B) {

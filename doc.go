@@ -252,18 +252,29 @@
 //	                   repeatability of logical steps.
 //	ServeGossipd       the same machines behind per-node loopback TCP
 //	                   listeners with a static peer table and no global
-//	                   step barrier at all (cmd/gossipd serve).
+//	                   step barrier at all (cmd/gossipd serve;
+//	                   ServeGossipdElection / cmd/gossipd elect runs the
+//	                   leader election the same way).
 //
-// The push–pull baseline, the sampled estimator, single-rumor broadcast
-// (NewBroadcastMachines), the median-counter broadcast, and
-// fast-gossiping all run on the seam; Run*Over variants accept a
-// TransportFactory to pick the executor. Protocols whose receipt
-// handling is commutative produce identical results under every
-// transport (the conformance suite in internal/core pins this);
-// fast-gossiping's walk routing is order-sensitive, so under the async
-// transport only its completion semantics are preserved. MachineDriver
-// steps any transport until a completion predicate; see
-// examples/asyncbroadcast for the 50-line version.
+// All seven algorithms run on the seam: the push–pull baseline, the
+// sampled estimator, single-rumor broadcast (NewBroadcastMachines), the
+// median-counter broadcast, fast-gossiping, the memory-model algorithm
+// (spanning-tree construction, gather-edge replay, and tree broadcast —
+// Algorithm 2 end to end), and leader election (NewLeaderMachines,
+// Algorithm 3). Run*Over variants accept a TransportFactory to pick the
+// executor. The seam grew two primitives for the memory model: an
+// open-avoid dial (a random neighbor from N(v) \ l_v, remembered on
+// success) and per-node dial plans that replay Phase I gather edges on
+// a fixed schedule; both are local to the dialing node, so no transport
+// needs extra coordination. Protocols whose receipt handling is
+// commutative — which now includes the memory model's idempotent
+// informs and the election's minimum folds — produce identical results
+// under every transport (the conformance suite in internal/core pins
+// exact equality for each of them); fast-gossiping's walk routing is
+// order-sensitive, so under the async transport only its completion
+// semantics are preserved. MachineDriver steps any transport until a
+// completion predicate; see examples/asyncbroadcast for the 50-line
+// version.
 //
 // All entry points take explicit seeds and produce bit-identical results
 // for a seed, independent of GOMAXPROCS.

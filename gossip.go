@@ -219,10 +219,18 @@ type (
 	// build with NewBroadcastMachines, run on any transport, then read
 	// per-node informed steps and delivered payloads.
 	BroadcastMachines = core.BroadcastSet
+	// LeaderMachines is Algorithm 3 as a machine set: build with
+	// NewLeaderMachines, run on any transport (or hand the machines to a
+	// step loop of your own), poll Complete, then Resolve the outcome.
+	LeaderMachines = core.LeaderSet
 	// GossipdConfig configures ServeGossipd.
 	GossipdConfig = gossipd.Config
 	// GossipdReport describes a finished ServeGossipd run.
 	GossipdReport = gossipd.Report
+	// GossipdElectionConfig configures ServeGossipdElection.
+	GossipdElectionConfig = gossipd.ElectionConfig
+	// GossipdElectionReport describes a finished ServeGossipdElection run.
+	GossipdElectionReport = gossipd.ElectionReport
 )
 
 // Transport factories for the *Over runners and MachineDriver.
@@ -253,10 +261,48 @@ func RunBroadcastOver(g *Graph, src int32, mode BroadcastMode, seed uint64, maxS
 	return core.BroadcastOver(g, src, mode, seed, maxSteps, tf)
 }
 
+// RunMemoryGossipOver is RunMemoryGossip on a caller-chosen transport:
+// every phase of Algorithm 2 — the infrastructure trees, the gather
+// replays, the final broadcast — runs as node state machines.
+func RunMemoryGossipOver(g *Graph, p MemoryParams, seed uint64, leader int32, tf TransportFactory) *Result {
+	return core.MemoryGossipOver(g, p, seed, leader, tf)
+}
+
+// RunMemoryGossipWithElectionOver is RunMemoryGossipWithElection on a
+// caller-chosen transport.
+func RunMemoryGossipWithElectionOver(g *Graph, p MemoryParams, lp LeaderParams, seed uint64, tf TransportFactory) (*Result, *LeaderResult) {
+	return core.MemoryGossipWithElectionOver(g, p, lp, seed, tf)
+}
+
+// RunElectLeaderOver is RunElectLeader on a caller-chosen transport.
+func RunElectLeaderOver(g *Graph, p LeaderParams, seed uint64, tf TransportFactory) *LeaderResult {
+	return core.ElectLeaderOver(g, p, seed, tf)
+}
+
+// RunMemoryBroadcastOver is RunMemoryBroadcast on a caller-chosen
+// transport.
+func RunMemoryBroadcastOver(g *Graph, p MemoryParams, root int32, seed uint64, tf TransportFactory) *BroadcastResult {
+	return core.MemoryBroadcastOver(g, p, root, seed, tf)
+}
+
+// NewLeaderMachines flips the Algorithm 3 candidate coins and returns the
+// election machine set over g, ready for any transport or step loop.
+func NewLeaderMachines(g *Graph, p LeaderParams, seed uint64) *LeaderMachines {
+	return core.NewLeaderSet(phone.NewNet(g, seed), p)
+}
+
 // ServeGossipd boots cfg.N gossip nodes over loopback TCP with a static
 // peer table and runs a push–pull broadcast of cfg.Payload from node 0
 // to completion; see cmd/gossipd for the command-line front end.
 func ServeGossipd(cfg GossipdConfig) (*GossipdReport, error) { return gossipd.Serve(cfg) }
+
+// ServeGossipdElection boots cfg.N gossip nodes over loopback TCP and
+// runs the Algorithm 3 leader election until every node knows the unique
+// winner; see cmd/gossipd's elect subcommand for the command-line front
+// end.
+func ServeGossipdElection(cfg GossipdElectionConfig) (*GossipdElectionReport, error) {
+	return gossipd.ServeElection(cfg)
+}
 
 // NewComplete returns the complete graph K_n (the baseline topology of the
 // paper's complete-graph comparisons).

@@ -4,16 +4,11 @@ package core
 // runs under both the synchronous in-memory transport and the
 // asynchronous goroutine-per-node transport, and the two runs must agree
 // on completion semantics. For protocols whose receipt handling is
-// commutative (set-union trackers, idempotent informs, vote counters)
-// the agreement is exact — identical steps, meters, and delivered state;
-// fast-gossiping's walk routing is order-sensitive, so there only the
-// schedule-shaped phases and the delivery guarantee (everyone ends up
-// knowing everything) must match.
-//
-// The memory model (Algorithm 2) and leader election (Algorithm 3) still
-// drive the substrate directly — their long-step structure has not been
-// lifted onto the seam yet (see ROADMAP) — so they are intentionally
-// absent here.
+// commutative (set-union trackers, idempotent informs, vote counters,
+// minimum folds) the agreement is exact — identical steps, meters, and
+// delivered state; fast-gossiping's walk routing is order-sensitive, so
+// there only the schedule-shaped phases and the delivery guarantee
+// (everyone ends up knowing everything) must match.
 
 import (
 	"testing"
@@ -118,3 +113,91 @@ func TestConformanceFastGossip(t *testing.T) {
 }
 
 func confNet(g *graph.Graph) *phone.Net { return phone.NewNet(g, confSeed) }
+
+// sameResult demands exact agreement between two runs: totals, completion,
+// and every phase meter. Memory-model informs are idempotent, gather
+// transfers and leader-ID folds are commutative, and every step-boundary
+// predicate snapshots round-start state, so transport phasing must be
+// invisible down to the meter.
+func sameResult(t *testing.T, s, a *Result) {
+	t.Helper()
+	if s.Completed != a.Completed || s.Steps != a.Steps || s.Leader != a.Leader || s.Meter != a.Meter {
+		t.Fatalf("sync run %+v != async run %+v", s, a)
+	}
+	if len(s.Phases) != len(a.Phases) {
+		t.Fatalf("phase count: sync %d async %d", len(s.Phases), len(a.Phases))
+	}
+	for i := range s.Phases {
+		if s.Phases[i].Name != a.Phases[i].Name || s.Phases[i].Meter != a.Phases[i].Meter {
+			t.Fatalf("phase %s: sync %+v async %+v",
+				s.Phases[i].Name, s.Phases[i].Meter, a.Phases[i].Meter)
+		}
+	}
+}
+
+func TestConformanceMemoryGossip(t *testing.T) {
+	g := confGraph(t, 256)
+	p := TunedMemoryParams(256)
+	sameResult(t,
+		MemoryGossipOver(g, p, confSeed, -1, SyncTransport),
+		MemoryGossipOver(g, p, confSeed, -1, AsyncTransport))
+
+	// Multiple trees with gather dedup: the dirty-flag snapshot semantics
+	// must also be phasing-invisible.
+	p.Trees = 3
+	p.DedupGather = true
+	sameResult(t,
+		MemoryGossipOver(g, p, 99, 5, SyncTransport),
+		MemoryGossipOver(g, p, 99, 5, AsyncTransport))
+}
+
+func TestConformanceMemoryGossipWithElection(t *testing.T) {
+	g := confGraph(t, 256)
+	sr, sle := MemoryGossipWithElectionOver(g, TunedMemoryParams(256), DefaultLeaderParams(256), confSeed, SyncTransport)
+	ar, ale := MemoryGossipWithElectionOver(g, TunedMemoryParams(256), DefaultLeaderParams(256), confSeed, AsyncTransport)
+	sameResult(t, sr, ar)
+	if *sle != *ale {
+		t.Fatalf("election: sync %+v != async %+v", sle, ale)
+	}
+}
+
+func TestConformanceElectLeader(t *testing.T) {
+	g := confGraph(t, 256)
+	for _, seed := range []uint64{1, 2, 7} {
+		s := ElectLeaderOver(g, DefaultLeaderParams(256), seed, SyncTransport)
+		a := ElectLeaderOver(g, DefaultLeaderParams(256), seed, AsyncTransport)
+		if *s != *a {
+			t.Fatalf("seed %d: sync %+v != async %+v", seed, s, a)
+		}
+	}
+
+	// With crash failures: failed nodes neither dial nor answer on any
+	// transport.
+	mk := func(tf TransportFactory) *LeaderResult {
+		nt := phone.NewNet(confGraph(t, 256), 11)
+		for _, v := range xrand.New(5).SampleK(256, 20) {
+			nt.Failed[v] = true
+		}
+		return electLeaderOver(nt, DefaultLeaderParams(256), tf)
+	}
+	s, a := mk(SyncTransport), mk(AsyncTransport)
+	if *s != *a {
+		t.Fatalf("failures: sync %+v != async %+v", s, a)
+	}
+}
+
+func TestConformanceMemoryBroadcast(t *testing.T) {
+	g := confGraph(t, 256)
+	p := TunedMemoryParams(256)
+	s := MemoryBroadcastOver(g, p, 3, confSeed, SyncTransport)
+	a := MemoryBroadcastOver(g, p, 3, confSeed, AsyncTransport)
+	if s.Steps != a.Steps || s.Completed != a.Completed ||
+		s.Transmissions != a.Transmissions || s.Opened != a.Opened {
+		t.Fatalf("sync %+v != async %+v", s, a)
+	}
+	for v := range s.InformedAt {
+		if s.InformedAt[v] != a.InformedAt[v] {
+			t.Fatalf("node %d informed at sync %d async %d", v, s.InformedAt[v], a.InformedAt[v])
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"math"
+	"sync/atomic"
 
 	"gossip/internal/graph"
 	"gossip/internal/phone"
@@ -36,139 +38,256 @@ func ElectLeader(g *graph.Graph, p LeaderParams, seed uint64) *LeaderResult {
 	return electLeader(phone.NewNet(g, seed), p)
 }
 
-// electLeader is ElectLeader on an existing substrate (so the memory-model
-// pipeline can share one Net and keep a single seed for the whole run).
-// Node identifiers are the node indices; the elected leader is therefore
-// the minimum-index candidate, which tests verify directly.
-func electLeader(nt *phone.Net, p LeaderParams) *LeaderResult {
-	g := nt.G
-	n := g.N()
-	res := &LeaderResult{Leader: -1, N: n}
-	var m phone.Meter
+// ElectLeaderOver is ElectLeader with the protocol executed as node state
+// machines over the given transport.
+func ElectLeaderOver(g *graph.Graph, p LeaderParams, seed uint64, tf TransportFactory) *LeaderResult {
+	return electLeaderOver(phone.NewNet(g, seed), p, tf)
+}
 
+// LeaderSet is Algorithm 3 as a set of per-node phone.Machine state
+// machines over a shared substrate. Most callers want ElectLeader or
+// ElectLeaderOver, which build the set and drive it to its fixed schedule;
+// the set is exported for drivers with their own step loops — internal/
+// gossipd runs the same machines over loopback TCP and polls Complete to
+// keep pulling past the schedule until every healthy node knows the leader.
+//
+// Node identifiers are the node indices; IDs fold by minimum, so the
+// elected leader is the minimum-index candidate whenever the spread
+// completes, which tests verify directly.
+type LeaderSet struct {
+	nt        *phone.Net
+	nodes     []*leaderMachine
+	ms        []phone.Machine
+	pushSteps int32
+	minCand   int32
+	healthy   int64
+	aware     atomic.Int64 // healthy nodes whose current minimum is minCand
+	nCand     int
+}
+
+// leaderMachine holds one node's election state. cur is the smallest ID
+// known at step start (what OnOpen answers and the push stage forwards);
+// next is the running minimum over everything received; the two meet in
+// OnStepEnd. curWire is cur pre-encoded as a 4-byte big-endian payload — a
+// fresh slice on every change, so a networked transport can hold a
+// reference across steps safely.
+type leaderMachine struct {
+	set       *LeaderSet
+	id        int32
+	step      int32
+	candidate bool
+	active    bool
+	cur, next int32
+	curWire   []byte
+}
+
+func encodeID(v int32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(v))
+	return b
+}
+
+// DecodeLeaderID parses the 4-byte candidate-ID payload of the election
+// machines (exported for transports that inspect frames in tests).
+func DecodeLeaderID(b []byte) (int32, bool) {
+	if len(b) != 4 {
+		return 0, false
+	}
+	return int32(binary.BigEndian.Uint32(b)), true
+}
+
+// NewLeaderSet flips the candidate coins (the first draw on every node's
+// stream, ascending node id) and returns the machine set, ready to step.
+func NewLeaderSet(nt *phone.Net, p LeaderParams) *LeaderSet {
+	n := nt.G.N()
 	avoid := p.AvoidLast
 	if avoid <= 0 || avoid > phone.MemorySlots {
 		avoid = 3
 	}
-	mem := make([]phone.LinkMemory, n)
-	for i := range mem {
-		mem[i] = phone.NewLinkMemory(avoid)
-	}
+	nt.InitMemory(avoid)
 
-	cur := make([]int32, n)  // smallest ID known at round start
-	next := make([]int32, n) // smallest ID known after this round
-	active := make([]bool, n)
-	for v := range cur {
-		cur[v] = noID
+	s := &LeaderSet{
+		nt:        nt,
+		nodes:     make([]*leaderMachine, n),
+		ms:        make([]phone.Machine, n),
+		pushSteps: int32(p.PushSteps),
+		minCand:   noID,
+		healthy:   int64(n - nt.FailCount()),
 	}
-
-	// Initial coin flips; candidates push immediately.
-	candidate := make([]bool, n)
+	if s.pushSteps < 1 {
+		s.pushSteps = 1 // the candidates' initial pushes always form a step
+	}
+	for v := 0; v < n; v++ {
+		s.nodes[v] = &leaderMachine{set: s, id: int32(v), cur: noID, next: noID}
+		s.ms[v] = s.nodes[v]
+	}
 	for v := int32(0); int(v) < n; v++ {
 		if nt.Failed[v] {
 			continue
 		}
 		if nt.RNG(v).Bernoulli(p.CandidateProb) {
-			candidate[v] = true
-			res.Candidates++
+			s.nodes[v].candidate = true
+			s.nCand++
 		}
 	}
-	if res.Candidates == 0 {
+	if s.nCand == 0 {
 		// The paper's regime has Θ(log²n) candidates w.h.p.; on tiny inputs
 		// the coin can miss, in which case the minimum-index node steps up
 		// so the protocol still terminates (documented deviation).
 		for v := int32(0); int(v) < n; v++ {
 			if !nt.Failed[v] {
-				candidate[v] = true
-				res.Candidates = 1
+				s.nodes[v].candidate = true
+				s.nCand = 1
 				break
 			}
 		}
 	}
 	for v := int32(0); int(v) < n; v++ {
-		if candidate[v] {
-			cur[v] = v
-			active[v] = true
-		}
-	}
-	copy(next, cur)
-	// pushMin performs one synchronous push step: every active node that
-	// already knows an ID at round start forwards its minimum. Nodes
-	// activated mid-step cannot push this step because their round-start
-	// minimum (cur) is still noID.
-	pushMin := func() {
-		for v := int32(0); int(v) < n; v++ {
-			if !active[v] || nt.Failed[v] || cur[v] == noID {
-				continue
-			}
-			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
-			if u < 0 {
-				continue
-			}
-			m.Open(1)
-			mem[v].Remember(u)
-			m.Push(1)
-			if nt.Failed[u] {
-				continue
-			}
-			if cur[v] < next[u] {
-				next[u] = cur[v]
-			}
-			active[u] = true // receivers become active (from next step on)
-		}
-	}
-
-	// The candidates' initial pushes form the first step.
-	pushMin()
-	copy(cur, next)
-	m.Step()
-
-	for t := 1; t < p.PushSteps; t++ {
-		pushMin()
-		copy(cur, next)
-		m.Step()
-	}
-
-	// Pull stage: every node opens a channel (avoiding remembered links)
-	// and the callee answers with its current minimum, if it has one.
-	for t := 0; t < p.PullSteps; t++ {
-		for v := int32(0); int(v) < n; v++ {
-			if nt.Failed[v] {
-				continue
-			}
-			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
-			if u < 0 {
-				continue
-			}
-			m.Open(1)
-			mem[v].Remember(u)
-			if !nt.Failed[u] && cur[u] != noID {
-				m.Push(1)
-				if cur[u] < next[v] {
-					next[v] = cur[u]
-				}
+		nd := s.nodes[v]
+		if nd.candidate {
+			nd.cur, nd.next = v, v
+			nd.active = true
+			nd.curWire = encodeID(v)
+			if v < s.minCand {
+				s.minCand = v
 			}
 		}
-		copy(cur, next)
-		m.Step()
 	}
+	if s.minCand != noID && !nt.Failed[s.minCand] {
+		s.aware.Store(1) // the eventual winner already knows itself
+	}
+	return s
+}
 
-	// Resolution: the candidate that still believes in its own ID wins.
+// Machines returns the per-node machines, indexed by node id.
+func (s *LeaderSet) Machines() []phone.Machine { return s.ms }
+
+// Machine returns node v's machine.
+func (s *LeaderSet) Machine(v int32) phone.Machine { return s.nodes[v] }
+
+// PushSteps returns the length of the ID push stage in steps.
+func (s *LeaderSet) PushSteps() int { return int(s.pushSteps) }
+
+// Candidates returns the number of self-declared possible leaders.
+func (s *LeaderSet) Candidates() int { return s.nCand }
+
+// Complete reports whether every healthy node's current minimum is the
+// minimum candidate ID — the eventual leader when the spread completes.
+// Safe to poll between steps from any goroutine.
+func (s *LeaderSet) Complete() bool { return s.aware.Load() >= s.healthy }
+
+func (m *leaderMachine) OnStep(step int32) (int32, any) {
+	m.step = step
+	s := m.set
+	if s.nt.Failed[m.id] {
+		return phone.NoDial, nil
+	}
+	if step <= s.pushSteps {
+		// Push stage: active nodes that already knew an ID at step start
+		// forward their minimum (nodes activated mid-step have cur == noID
+		// until OnStepEnd, so they start pushing next step).
+		if !m.active || m.cur == noID {
+			return phone.NoDial, nil
+		}
+		u := s.nt.OpenAvoid(m.id)
+		if u < 0 {
+			return phone.NoDial, nil
+		}
+		return u, m.curWire
+	}
+	// Pull stage: every node opens a channel; the channel itself pulls.
+	u := s.nt.OpenAvoid(m.id)
+	if u < 0 {
+		return phone.NoDial, nil
+	}
+	return u, nil
+}
+
+func (m *leaderMachine) OnOpen(from int32) any {
+	s := m.set
+	if m.step <= s.pushSteps {
+		return nil // push-stage channels only carry the caller's push
+	}
+	if s.nt.Failed[m.id] || m.cur == noID {
+		return nil
+	}
+	return m.curWire // cur is step-start state: only OnStepEnd moves it
+}
+
+func (m *leaderMachine) OnReceive(from int32, payload any) {
+	if m.set.nt.Failed[m.id] {
+		return
+	}
+	id, ok := DecodeLeaderID(payload.([]byte))
+	if !ok {
+		return
+	}
+	if id < m.next {
+		m.next = id
+	}
+	m.active = true // receivers join the spread from the next step on
+}
+
+func (m *leaderMachine) OnStepEnd(step int32) {
+	if m.cur == m.next {
+		return
+	}
+	s := m.set
+	// cur only decreases, so the transition to the minimum candidate
+	// happens at most once per node — count it for Complete.
+	if m.next == s.minCand && !s.nt.Failed[m.id] {
+		s.aware.Add(1)
+	}
+	m.cur = m.next
+	m.curWire = encodeID(m.cur)
+}
+
+// Resolve computes the election outcome from the machines' final state:
+// the candidate that still believes in its own ID wins.
+func (s *LeaderSet) Resolve() *LeaderResult {
+	res := &LeaderResult{Leader: -1, N: len(s.nodes), Candidates: s.nCand}
 	winners := 0
-	for v := int32(0); int(v) < n; v++ {
-		if candidate[v] && !nt.Failed[v] && cur[v] == v {
+	for _, nd := range s.nodes {
+		if nd.candidate && !s.nt.Failed[nd.id] && nd.cur == nd.id {
 			winners++
-			res.Leader = v
+			res.Leader = nd.id
 		}
 	}
 	res.Unique = winners == 1
 	if res.Leader >= 0 {
-		for v := 0; v < n; v++ {
-			if !nt.Failed[v] && cur[v] == res.Leader {
+		for _, nd := range s.nodes {
+			if !s.nt.Failed[nd.id] && nd.cur == res.Leader {
 				res.AwareCount++
 			}
 		}
 	}
+	return res
+}
+
+// electLeader is ElectLeader on an existing substrate (so the memory-model
+// pipeline can share one Net and keep a single seed for the whole run).
+func electLeader(nt *phone.Net, p LeaderParams) *LeaderResult {
+	return electLeaderOver(nt, p, SyncTransport)
+}
+
+func electLeaderOver(nt *phone.Net, p LeaderParams, tf TransportFactory) *LeaderResult {
+	set := NewLeaderSet(nt, p)
+	t := tf(set.ms)
+	defer t.Close()
+
+	var m phone.Meter
+	d := &Driver{
+		T:        t,
+		MaxSteps: set.PushSteps() + p.PullSteps,
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			m.Open(tl.Opened)
+			m.Push(tl.Pushes + tl.Responses)
+			m.Step()
+		},
+	}
+	d.Run()
+
+	res := set.Resolve()
 	res.Steps = m.Steps
 	res.Meter = m
 	return res

@@ -15,9 +15,15 @@ const MemoryBroadcastMode BroadcastMode = 3
 // long-step and stop; uninformed nodes then pull with open-avoid until
 // everyone is informed. O(log n) rounds and O(n) transmissions.
 func MemoryBroadcast(g *graph.Graph, p MemoryParams, root int32, seed uint64) *BroadcastResult {
+	return MemoryBroadcastOver(g, p, root, seed, SyncTransport)
+}
+
+// MemoryBroadcastOver is MemoryBroadcast with the broadcast machines run
+// over the given transport.
+func MemoryBroadcastOver(g *graph.Graph, p MemoryParams, root int32, seed uint64, tf TransportFactory) *BroadcastResult {
 	nt := phone.NewNet(g, seed)
-	tree := buildTree(nt, root, p.Phase3PushSteps, p.PullSteps,
-		p.Phase3MaxPullSteps, p.MemSlots, false, true)
+	tree := buildTreeOver(nt, root, p.Phase3PushSteps, p.PullSteps,
+		p.Phase3MaxPullSteps, p.MemSlots, false, true, tf)
 	res := &BroadcastResult{
 		Mode:          MemoryBroadcastMode,
 		N:             g.N(),

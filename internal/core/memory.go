@@ -60,15 +60,24 @@ type Tree struct {
 // Phase I step t is replayed.
 func (tr *Tree) MirrorStep(t int32) int32 { return tr.Steps - t + 1 }
 
-// buildTree runs the Phase I broadcast procedure from root. When record is
-// true the gather schedule is retained. When pullUntilComplete is true the
-// pull stage extends past pullSteps (up to maxPullSteps) until every
-// non-failed node is informed — the §5 convention for final phases.
+// buildTree runs the Phase I broadcast procedure from root on the
+// synchronous transport. When record is true the gather schedule is
+// retained. When pullUntilComplete is true the pull stage extends past
+// pullSteps (up to maxPullSteps) until every non-failed node is informed —
+// the §5 convention for final phases.
 func buildTree(nt *phone.Net, root int32, pushSteps, pullSteps, maxPullSteps, memSlots int,
 	record, pullUntilComplete bool) *Tree {
+	return buildTreeOver(nt, root, pushSteps, pullSteps, maxPullSteps, memSlots,
+		record, pullUntilComplete, SyncTransport)
+}
 
-	g := nt.G
-	n := g.N()
+// buildTreeOver runs Phase I as per-node machines (treeSet) over the given
+// transport. One driver run spans both stages, so driver steps coincide
+// with the algorithm's step numbering.
+func buildTreeOver(nt *phone.Net, root int32, pushSteps, pullSteps, maxPullSteps, memSlots int,
+	record, pullUntilComplete bool, tf TransportFactory) *Tree {
+
+	n := nt.G.N()
 	tree := &Tree{
 		Root:       root,
 		N:          n,
@@ -78,92 +87,56 @@ func buildTree(nt *phone.Net, root int32, pushSteps, pullSteps, maxPullSteps, me
 		tree.InformedAt[i] = -1
 	}
 	tree.InformedAt[root] = 0
-	informedCount := 1
+	nt.InitMemory(memSlots) // each phase starts with fresh link memories
 
-	mem := make([]phone.LinkMemory, n)
-	for i := range mem {
-		mem[i] = phone.NewLinkMemory(memSlots)
-	}
+	// The push stage executes whole long-steps only; a trailing partial
+	// long-step is dropped (pushSteps/4 long-steps of 4 steps each).
+	pushExec := pushSteps / 4 * 4
+	set := newTreeSet(nt, tree, pushExec, record)
+	t := tf(set.ms)
+	defer t.Close()
 
 	var m phone.Meter
-	step := int32(0)
-
-	// Push stage: long-steps of 4 steps each. Nodes informed during
-	// long-step j (the root during "long-step -1") contact 4 distinct
-	// neighbors during long-step j+1, storing each contact.
-	active := []int32{root}
-	if nt.Failed[root] {
-		active = nil
-	}
-	longSteps := pushSteps / 4
-	for ls := 0; ls < longSteps; ls++ {
-		var newly []int32
-		for k := 0; k < 4; k++ {
-			step++
-			for _, u := range active {
-				v := g.RandomNeighborAvoid(u, nt.RNG(u), mem[u].Links())
-				if v < 0 {
-					continue
-				}
-				m.Open(1)
-				mem[u].Remember(v)
-				m.Push(1) // u pushes the token through the fresh channel
-				if record {
-					tree.Edges = append(tree.Edges, GatherEdge{Child: v, Parent: u, T: step, Kind: PushContact})
-				}
-				if tree.InformedAt[v] < 0 && !nt.Failed[v] {
-					tree.InformedAt[v] = step
-					informedCount++
-					newly = append(newly, v)
-				}
+	healthy := n - nt.FailCount()
+	d := &Driver{
+		T: t,
+		// The stop predicate replicates the historical schedule exactly:
+		// the push stage always runs in full; without pullUntilComplete the
+		// pull stage runs exactly pullSteps steps; with it, the stage stops
+		// at the first step boundary where everyone is informed — but never
+		// before one pull step has run (completion is only checked after a
+		// pull) — and past pullSteps it keeps pulling until complete or the
+		// total-step cap pushSteps+maxPullSteps (the cap counts scheduled
+		// push steps, not executed ones).
+		Done: func() bool {
+			sd := m.Steps
+			if sd < pushExec {
+				return false
 			}
+			pullDone := sd - pushExec
+			complete := set.informed.Load() == int64(healthy)
+			if !pullUntilComplete {
+				return pullDone >= pullSteps
+			}
+			if pullDone < pullSteps {
+				return pullDone >= 1 && complete
+			}
+			return complete || sd >= pushSteps+maxPullSteps
+		},
+		AfterStep: func(_ int32, tl phone.StepTally) {
+			m.Open(tl.Opened)
+			m.Push(tl.Pushes + tl.Responses)
 			m.Step()
-		}
-		active = newly
+			if record {
+				set.drainEdges()
+			}
+		},
 	}
+	steps := d.Run()
 
-	// Pull stage: uninformed nodes open-avoid once per step; any callee
-	// that was informed before this step responds.
-	pull := func() bool { // one pull step; reports whether all informed
-		step++
-		for v := int32(0); int(v) < n; v++ {
-			if tree.InformedAt[v] >= 0 || nt.Failed[v] {
-				continue
-			}
-			u := g.RandomNeighborAvoid(v, nt.RNG(v), mem[v].Links())
-			if u < 0 {
-				continue
-			}
-			m.Open(1)
-			mem[v].Remember(u)
-			if at := tree.InformedAt[u]; at >= 0 && at < step && !nt.Failed[u] {
-				m.Push(1) // u answers through v's channel
-				tree.InformedAt[v] = step
-				informedCount++
-				if record {
-					tree.Edges = append(tree.Edges, GatherEdge{Child: v, Parent: u, T: step, Kind: PullInform})
-				}
-			}
-		}
-		m.Step()
-		return informedCount == n-nt.FailCount()
-	}
-	for t := 0; t < pullSteps; t++ {
-		if pull() && pullUntilComplete {
-			break
-		}
-	}
-	if pullUntilComplete {
-		for informedCount < n-nt.FailCount() && int(step) < pushSteps+maxPullSteps {
-			if pull() {
-				break
-			}
-		}
-	}
-
-	tree.Steps = step
+	tree.Steps = int32(steps)
 	tree.Meter = m
-	tree.Completed = informedCount == n-nt.FailCount()
+	tree.Completed = set.informed.Load() == int64(healthy)
 	return tree
 }
 
@@ -242,18 +215,29 @@ func realizeGather(tree *Tree, failed []bool, dedup bool) ([]GatherEdge, phone.M
 }
 
 // gatherStructural computes the Phase II outcome under the failure mask
-// without materializing message sets.
+// without materializing message sets: a pure replay (realizeGather)
+// followed by the backward reachability pass. The robustness experiments
+// use it to re-analyze one built tree under many failure masks without
+// re-running any communication.
+func gatherStructural(tree *Tree, failed []bool, dedup bool) *GatherPlan {
+	realized, meter := realizeGather(tree, failed, dedup)
+	return planFromRealized(tree, realized, failed, meter)
+}
+
+// planFromRealized turns a set of realized Phase II transfers into the
+// gather outcome.
 //
 // Correctness: content received at gather step s is forwardable at steps
 // > s. Over the realized transfers, define g(v) as the largest gather step
 // at which v sends to a node that can still deliver to the root
 // (g(root) = +inf). Scanning realized transfers in decreasing gather step,
 // g(parent) is final before any transfer with a smaller gather step is
-// examined, so one backward pass suffices. v's own message (ready from
-// step 0) reaches the root iff g(v) >= 1.
-func gatherStructural(tree *Tree, failed []bool, dedup bool) *GatherPlan {
+// examined, so one backward pass suffices (the pass is order-insensitive
+// within one gather step: g values only grow, and a transfer at step s
+// consults g(parent) >= s+1, which transfers at step s never produce).
+// v's own message (ready from step 0) reaches the root iff g(v) >= 1.
+func planFromRealized(tree *Tree, realized []GatherEdge, failed []bool, meter phone.Meter) *GatherPlan {
 	n := tree.N
-	realized, meter := realizeGather(tree, failed, dedup)
 
 	const inf = math.MaxInt32
 	gval := make([]int32, n)
@@ -317,11 +301,18 @@ func gatherExact(tree *Tree, failed []bool, dedup bool) (*bitset.Set, phone.Mete
 // broadcasts the combined packet with the same infrastructure procedure,
 // run until every node is informed.
 func MemoryGossip(g *graph.Graph, params MemoryParams, seed uint64, leader int32) *Result {
-	nt := phone.NewNet(g, seed)
-	return memoryGossip(nt, params, seed, leader)
+	return MemoryGossipOver(g, params, seed, leader, SyncTransport)
 }
 
-func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32) *Result {
+// MemoryGossipOver is MemoryGossip with every phase — the Phase I tree
+// builds, the Phase II gather replays, and the Phase III broadcast —
+// executed as node state machines over the given transport.
+func MemoryGossipOver(g *graph.Graph, params MemoryParams, seed uint64, leader int32, tf TransportFactory) *Result {
+	nt := phone.NewNet(g, seed)
+	return memoryGossipOver(nt, params, seed, leader, tf)
+}
+
+func memoryGossipOver(nt *phone.Net, params MemoryParams, seed uint64, leader int32, tf TransportFactory) *Result {
 	g := nt.G
 	n := g.N()
 	if leader < 0 {
@@ -332,8 +323,8 @@ func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32)
 
 	var m1 phone.Meter
 	for i := range trees {
-		trees[i] = buildTree(nt, leader, params.PushSteps, params.PullSteps,
-			params.Phase3MaxPullSteps, params.MemSlots, true, false)
+		trees[i] = buildTreeOver(nt, leader, params.PushSteps, params.PullSteps,
+			params.Phase3MaxPullSteps, params.MemSlots, true, false, tf)
 		m1.Add(trees[i].Meter)
 	}
 	res.addPhase("infrastructure", m1)
@@ -341,7 +332,7 @@ func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32)
 	var m2 phone.Meter
 	gathered := make([]bool, n)
 	for _, t := range trees {
-		plan := gatherStructural(t, nt.Failed, params.DedupGather)
+		plan := gatherOver(t, nt.Failed, params.DedupGather, tf)
 		m2.Add(plan.Meter)
 		for v, r := range plan.Reached {
 			if r {
@@ -353,8 +344,8 @@ func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32)
 
 	// Phase III: broadcast the combined packet from the leader with the
 	// same procedure, pull stage running to completion.
-	bc := buildTree(nt, leader, params.Phase3PushSteps, params.PullSteps,
-		params.Phase3MaxPullSteps, params.MemSlots, false, true)
+	bc := buildTreeOver(nt, leader, params.Phase3PushSteps, params.PullSteps,
+		params.Phase3MaxPullSteps, params.MemSlots, false, true, tf)
 	res.addPhase("broadcast", bc.Meter)
 
 	complete := bc.Completed
@@ -372,9 +363,16 @@ func memoryGossip(nt *phone.Net, params MemoryParams, seed uint64, leader int32)
 // Algorithm 2; the paper's headline O(n·loglog n)-transmission bound is for
 // this combination.
 func MemoryGossipWithElection(g *graph.Graph, params MemoryParams, lp LeaderParams, seed uint64) (*Result, *LeaderResult) {
+	return MemoryGossipWithElectionOver(g, params, lp, seed, SyncTransport)
+}
+
+// MemoryGossipWithElectionOver is MemoryGossipWithElection over the given
+// transport; the election and the gossip share one substrate (one seed, one
+// set of RNG streams), exactly as the combined algorithm is analyzed.
+func MemoryGossipWithElectionOver(g *graph.Graph, params MemoryParams, lp LeaderParams, seed uint64, tf TransportFactory) (*Result, *LeaderResult) {
 	nt := phone.NewNet(g, seed)
-	le := electLeader(nt, lp)
-	res := memoryGossip(nt, params, seed, le.Leader)
+	le := electLeaderOver(nt, lp, tf)
+	res := memoryGossipOver(nt, params, seed, le.Leader, tf)
 	res.Algorithm = "memory+election"
 	// Prepend the election phase so the run totals include it.
 	full := &Result{Algorithm: res.Algorithm, N: res.N, Leader: le.Leader}

@@ -1,12 +1,13 @@
 // Package gossipd boots a cluster of gossip nodes over a real network
 // transport — the first networked step of the ROADMAP's "from simulator
-// to gossipd" item. Every node is a phone.Machine (the same push–pull
-// broadcast machine the simulator drives) behind its own loopback TCP
-// listener; a static peer table maps node ids to addresses. Each node
-// runs its own step loop: open a channel to a random peer (one TCP
-// request), push its rumor through it, and pull the peer's response —
-// the random phone call model's step, executed asynchronously per node
-// with no global round barrier.
+// to gossipd" item. Every node is a phone.Machine (the same machines the
+// simulator drives — the push–pull broadcast set, or Algorithm 3's
+// leader-election set) behind its own loopback TCP listener; a static
+// peer table maps node ids to addresses. Each node runs its own step
+// loop: open a channel to a peer (one TCP request), push its payload
+// through it, and pull the peer's response — the random phone call
+// model's step, executed asynchronously per node with no global round
+// barrier.
 //
 // The cluster is one process today (the peer table, completion detection,
 // and the shared RNG substrate are in-memory), but the node loop and wire
@@ -96,10 +97,19 @@ type node struct {
 	stopped atomic.Bool
 }
 
+// machineSet is what the cluster needs from a protocol: per-node machines
+// (whose payloads must be []byte — they cross the wire) and a completion
+// predicate safe to poll from the monitor goroutine. core.BroadcastSet and
+// core.LeaderSet both satisfy it.
+type machineSet interface {
+	Machine(v int32) phone.Machine
+	Complete() bool
+}
+
 // cluster wires n nodes over loopback TCP with a static peer table.
 type cluster struct {
 	cfg   Config
-	set   *core.BroadcastSet
+	set   machineSet
 	nodes []*node
 	peers []string // the static peer table: node id → address
 	stop  chan struct{}
@@ -108,6 +118,65 @@ type cluster struct {
 
 	dials     atomic.Int64
 	wireBytes atomic.Int64
+}
+
+// newCluster opens one loopback listener per node and fills the peer table.
+func newCluster(cfg Config, set machineSet) (*cluster, error) {
+	c := &cluster{
+		cfg:   cfg,
+		set:   set,
+		nodes: make([]*node, cfg.N),
+		peers: make([]string, cfg.N),
+		stop:  make(chan struct{}),
+	}
+	for v := 0; v < cfg.N; v++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.shutdown()
+			return nil, fmt.Errorf("gossipd: node %d listen: %w", v, err)
+		}
+		c.nodes[v] = &node{id: int32(v), m: set.Machine(int32(v)), ln: ln}
+		c.peers[v] = ln.Addr().String()
+	}
+	return c, nil
+}
+
+// run starts every node's listener and step loop, waits for completion
+// (polled via the set), for every node to hit its step cap, or for the
+// timeout guard, then shuts the cluster down and returns the elapsed time.
+func (c *cluster) run() time.Duration {
+	start := time.Now() //gossiplint:allow detlint Elapsed reports real network wall time; cluster results are asynchronous, not replayed
+	for _, nd := range c.nodes {
+		c.srvWg.Add(1)
+		//gossiplint:allow golife serveNode itself holds a positive srvWg count, so its per-conn Add can never race Wait
+		go c.serveNode(nd)
+		c.wg.Add(1)
+		go c.stepLoop(nd)
+	}
+
+	allExited := make(chan struct{})
+	go func() { c.wg.Wait(); close(allExited) }()
+	deadline := time.NewTimer(c.cfg.Timeout)
+	defer deadline.Stop()
+	poll := time.NewTicker(time.Millisecond)
+	defer poll.Stop()
+wait:
+	for {
+		select {
+		case <-poll.C:
+			if c.set.Complete() {
+				break wait
+			}
+		case <-allExited:
+			break wait
+		case <-deadline.C:
+			break wait
+		}
+	}
+	c.shutdown()
+	c.wg.Wait()
+	c.srvWg.Wait()
+	return time.Since(start) //gossiplint:allow detlint Elapsed reports real network wall time; cluster results are asynchronous, not replayed
 }
 
 // Serve boots the cluster, runs the push–pull broadcast of cfg.Payload
@@ -131,68 +200,132 @@ func Serve(cfg Config) (*Report, error) {
 	}
 
 	nt := phone.NewNet(graph.Complete(cfg.N), cfg.Seed)
-	c := &cluster{
-		cfg:   cfg,
-		set:   core.NewBroadcastSet(nt, 0, core.PushAndPull, cfg.Payload),
-		nodes: make([]*node, cfg.N),
-		peers: make([]string, cfg.N),
-		stop:  make(chan struct{}),
+	set := core.NewBroadcastSet(nt, 0, core.PushAndPull, cfg.Payload)
+	c, err := newCluster(cfg, set)
+	if err != nil {
+		return nil, err
 	}
-	for v := 0; v < cfg.N; v++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			c.shutdown()
-			return nil, fmt.Errorf("gossipd: node %d listen: %w", v, err)
-		}
-		c.nodes[v] = &node{id: int32(v), m: c.set.Machine(int32(v)), ln: ln}
-		c.peers[v] = ln.Addr().String()
-	}
-
-	start := time.Now() //gossiplint:allow detlint Elapsed reports real network wall time; cluster results are asynchronous, not replayed
-	for _, nd := range c.nodes {
-		c.srvWg.Add(1)
-		//gossiplint:allow golife serveNode itself holds a positive srvWg count, so its per-conn Add can never race Wait
-		go c.serveNode(nd)
-		c.wg.Add(1)
-		go c.stepLoop(nd)
-	}
-
-	// Stop on completion, on every node hitting its step cap, or on the
-	// timeout guard.
-	allExited := make(chan struct{})
-	go func() { c.wg.Wait(); close(allExited) }()
-	deadline := time.NewTimer(cfg.Timeout)
-	defer deadline.Stop()
-	poll := time.NewTicker(time.Millisecond)
-	defer poll.Stop()
-wait:
-	for {
-		select {
-		case <-poll.C:
-			if c.set.Complete() {
-				break wait
-			}
-		case <-allExited:
-			break wait
-		case <-deadline.C:
-			break wait
-		}
-	}
-	c.shutdown()
-	c.wg.Wait()
-	c.srvWg.Wait()
+	elapsed := c.run()
 
 	rep := &Report{
 		N:          cfg.N,
-		Completed:  c.set.Complete(),
+		Completed:  set.Complete(),
 		InformedAt: make([]int32, cfg.N),
 		LocalSteps: make([]int32, cfg.N),
 		Dials:      c.dials.Load(),
 		WireBytes:  c.wireBytes.Load(),
-		Elapsed:    time.Since(start), //gossiplint:allow detlint Elapsed reports real network wall time; cluster results are asynchronous, not replayed
+		Elapsed:    elapsed,
 	}
 	for v := 0; v < cfg.N; v++ {
-		rep.InformedAt[v] = c.set.InformedAt(int32(v))
+		rep.InformedAt[v] = set.InformedAt(int32(v))
+		rep.LocalSteps[v] = c.nodes[v].steps.Load()
+	}
+	return rep, nil
+}
+
+// ElectionConfig configures a ServeElection run.
+type ElectionConfig struct {
+	// N is the number of nodes (>= 2).
+	N int
+	// Seed drives the candidate coins and the per-node peer-choice streams.
+	Seed uint64
+	// MaxSteps caps each node's local step count (0 = the Algorithm 3
+	// schedule plus 64·log₂ n extra pull steps — past the scheduled pull
+	// stage the machines simply keep pulling, which is exactly what an
+	// asynchronous cluster needs to finish spreading the winner's ID).
+	MaxSteps int
+	// StepDelay is the pause between a node's steps (0 = 200µs).
+	StepDelay time.Duration
+	// Timeout aborts a run that does not complete (0 = 30s).
+	Timeout time.Duration
+}
+
+// ElectionReport describes a finished ServeElection run.
+type ElectionReport struct {
+	N int
+	// Leader, Candidates, Unique and AwareCount are Algorithm 3's outcome
+	// as resolved from the machines' final state (Leader is -1 if the
+	// election failed).
+	Leader     int32
+	Candidates int
+	Unique     bool
+	AwareCount int
+	// Completed reports that every node's current minimum was the eventual
+	// winner's ID when the cluster stopped.
+	Completed  bool
+	LocalSteps []int32
+	Dials      int64
+	WireBytes  int64
+	Elapsed    time.Duration
+}
+
+// Summary renders a one-line human summary.
+func (r *ElectionReport) Summary() string {
+	status := "completed"
+	if !r.Completed {
+		status = "INCOMPLETE"
+	}
+	var maxStep int32
+	for _, s := range r.LocalSteps {
+		if s > maxStep {
+			maxStep = s
+		}
+	}
+	return fmt.Sprintf("leader election %s: leader=%d unique=%v %d/%d aware, %d candidates, max %d local steps, %d dials, %d wire bytes, %v",
+		status, r.Leader, r.Unique, r.AwareCount, r.N, r.Candidates, maxStep, r.Dials, r.WireBytes, r.Elapsed.Round(time.Millisecond))
+}
+
+// ServeElection boots the cluster and runs Algorithm 3 — the same
+// core.LeaderSet machines the simulator drives — over loopback TCP: each
+// node pushes the smallest candidate ID it knows for the scheduled push
+// stage of its own local clock, then keeps answering and opening pull
+// channels until every node's minimum is the winner's ID. The run stops
+// as soon as the cluster-wide completion predicate holds (or on the step
+// cap / timeout), and the election is resolved from the machines' final
+// state.
+func ServeElection(cfg ElectionConfig) (*ElectionReport, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("gossipd: need at least 2 nodes, got %d", cfg.N)
+	}
+	p := core.DefaultLeaderParams(cfg.N)
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = p.PushSteps + p.PullSteps + 64*ceilLog2(cfg.N)
+	}
+	if cfg.StepDelay <= 0 {
+		cfg.StepDelay = 200 * time.Microsecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+
+	nt := phone.NewNet(graph.Complete(cfg.N), cfg.Seed)
+	set := core.NewLeaderSet(nt, p)
+	c, err := newCluster(Config{
+		N:         cfg.N,
+		Seed:      cfg.Seed,
+		MaxSteps:  cfg.MaxSteps,
+		StepDelay: cfg.StepDelay,
+		Timeout:   cfg.Timeout,
+	}, set)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := c.run()
+
+	res := set.Resolve()
+	rep := &ElectionReport{
+		N:          cfg.N,
+		Leader:     res.Leader,
+		Candidates: res.Candidates,
+		Unique:     res.Unique,
+		AwareCount: res.AwareCount,
+		Completed:  set.Complete(),
+		LocalSteps: make([]int32, cfg.N),
+		Dials:      c.dials.Load(),
+		WireBytes:  c.wireBytes.Load(),
+		Elapsed:    elapsed,
+	}
+	for v := 0; v < cfg.N; v++ {
 		rep.LocalSteps[v] = c.nodes[v].steps.Load()
 	}
 	return rep, nil

@@ -45,6 +45,41 @@ func TestServeRejectsTinyCluster(t *testing.T) {
 	if _, err := Serve(Config{N: 1}); err == nil {
 		t.Fatal("Serve accepted a 1-node cluster")
 	}
+	if _, err := ServeElection(ElectionConfig{N: 1}); err == nil {
+		t.Fatal("ServeElection accepted a 1-node cluster")
+	}
+}
+
+// TestServeElectionCompletes runs Algorithm 3 over loopback TCP and checks
+// the cluster agrees on a unique leader every node knows about.
+func TestServeElectionCompletes(t *testing.T) {
+	rep, err := ServeElection(ElectionConfig{
+		N:         12,
+		Seed:      7,
+		StepDelay: 50 * time.Microsecond,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("ServeElection: %v", err)
+	}
+	if !rep.Completed || !rep.Unique {
+		t.Fatalf("election did not converge: %s", rep.Summary())
+	}
+	if rep.Leader < 0 || int(rep.Leader) >= rep.N {
+		t.Fatalf("leader %d out of range", rep.Leader)
+	}
+	if rep.AwareCount != rep.N {
+		t.Fatalf("aware %d/%d", rep.AwareCount, rep.N)
+	}
+	if rep.Candidates < 1 {
+		t.Fatalf("no candidates: %s", rep.Summary())
+	}
+	if rep.Dials == 0 || rep.WireBytes == 0 {
+		t.Fatalf("implausible traffic: %s", rep.Summary())
+	}
+	if s := rep.Summary(); !strings.Contains(s, "completed") {
+		t.Fatalf("summary = %q", s)
+	}
 }
 
 // TestWireRoundTrip pins the frame format both directions, including

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"gossip/internal/xrand"
@@ -98,7 +99,7 @@ func ConfigurationModel(n, d int, rng *xrand.RNG) (*Graph, ConfigStats) {
 		edges = append(edges, Edge{U: stubs[i], V: stubs[i+1]})
 	}
 	g := FromEdges(n, edges)
-	return g, countDefects(n, edges)
+	return g, countDefects(edges)
 }
 
 // RandomRegular samples a simple d-regular graph by re-drawing
@@ -108,17 +109,65 @@ func ConfigurationModel(n, d int, rng *xrand.RNG) (*Graph, ConfigStats) {
 // local repair — erased configuration model — which the analysis also
 // tolerates since only O(1) edges differ w.h.p.). maxTries bounds the
 // rejection phase.
+// The rejection loop reuses one stub buffer, one edge buffer, and one
+// defect-scan scratch slice across all tries, and builds the CSR graph
+// only for the accepted pairing. Each try consumes exactly one
+// Shuffle(n·d) from rng — the same draws ConfigurationModel would make —
+// so the sampled graph is bit-identical to rejecting over full
+// ConfigurationModel calls.
 func RandomRegular(n, d int, rng *xrand.RNG) *Graph {
+	if n < 0 || d < 0 {
+		panic("graph: negative configuration-model parameter")
+	}
+	if n*d%2 != 0 {
+		panic("graph: n*d must be even in the configuration model")
+	}
 	const maxTries = 40
+	stubs := make([]int32, n*d)
+	edges := make([]Edge, len(stubs)/2)
+	keys := make([]uint64, 0, len(edges))
 	for try := 0; try < maxTries; try++ {
-		g, st := ConfigurationModel(n, d, rng)
-		if st.SelfLoops == 0 && st.MultiEdges == 0 {
-			return g
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs[v*d+k] = int32(v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		for i := range edges {
+			edges[i] = Edge{U: stubs[2*i], V: stubs[2*i+1]}
+		}
+		if pairingIsSimple(edges, keys) {
+			return FromEdges(n, edges)
 		}
 	}
 	// Erased fallback: drop loops, collapse parallels.
 	g, _ := ConfigurationModel(n, d, rng)
 	return Simplify(g)
+}
+
+// pairingIsSimple reports whether a stub pairing has no self-loops and no
+// parallel edges. keys is caller-provided scratch (resliced to zero
+// length) so the rejection loop in RandomRegular allocates nothing per
+// try.
+func pairingIsSimple(edges []Edge, keys []uint64) bool {
+	keys = keys[:0]
+	for _, e := range edges {
+		if e.U == e.V {
+			return false
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		keys = append(keys, uint64(uint32(u))<<32|uint64(uint32(v)))
+	}
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // Simplify returns a copy of g with self-loops removed and parallel edges
@@ -143,9 +192,9 @@ func Simplify(g *Graph) *Graph {
 	return FromEdges(g.N(), edges)
 }
 
-func countDefects(n int, edges []Edge) ConfigStats {
+func countDefects(edges []Edge) ConfigStats {
 	var st ConfigStats
-	seen := make(map[[2]int32]int, len(edges))
+	keys := make([]uint64, 0, len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
 			st.SelfLoops++
@@ -155,11 +204,14 @@ func countDefects(n int, edges []Edge) ConfigStats {
 		if u > v {
 			u, v = v, u
 		}
-		seen[[2]int32{u, v}]++
+		keys = append(keys, uint64(uint32(u))<<32|uint64(uint32(v)))
 	}
-	for _, c := range seen {
-		if c > 1 {
-			st.MultiEdges += c - 1
+	// Sorted adjacent-duplicate scan: a run of c equal keys contributes
+	// c-1 surplus edges, exactly the map-based count it replaces.
+	slices.Sort(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			st.MultiEdges++
 		}
 	}
 	return st

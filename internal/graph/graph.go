@@ -8,6 +8,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 
 	"gossip/internal/xrand"
 )
@@ -159,24 +160,46 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: offsets not monotone at %d", v)
 		}
 	}
-	// Count directed entries u->v; symmetry requires count(u,v)==count(v,u).
-	counts := make(map[[2]int32]int64, len(g.adj))
+	// Encode every directed entry v->u as v<<32|u. Swapping the halves is
+	// an involution on the key space, so the adjacency is symmetric as a
+	// multiset — count(v,u) == count(u,v) for every pair — exactly when
+	// the sorted key list equals its sorted swapped image. Two sorts and
+	// a linear compare replace the O(m)-entry count map.
+	fwd := make([]uint64, 0, len(g.adj))
 	for v := int32(0); int(v) < g.n; v++ {
 		for _, u := range g.Neighbors(v) {
 			if u < 0 || int(u) >= g.n {
 				return fmt.Errorf("graph: endpoint %d out of range", u)
 			}
-			counts[[2]int32{v, u}]++
+			fwd = append(fwd, uint64(uint32(v))<<32|uint64(uint32(u)))
 		}
 	}
-	// Re-walk the adjacency in vertex order rather than ranging the
-	// counts map, so the first offending pair reported is deterministic.
+	rev := make([]uint64, len(fwd))
+	for i, k := range fwd {
+		rev[i] = k<<32 | k>>32
+	}
+	slices.Sort(fwd)
+	slices.Sort(rev)
+	if slices.Equal(fwd, rev) {
+		return nil
+	}
+	// Re-walk the adjacency in vertex order so the first offending pair
+	// reported is deterministic, counting by binary search in the sorted
+	// keys.
 	for v := int32(0); int(v) < g.n; v++ {
 		for _, u := range g.Neighbors(v) {
-			if counts[[2]int32{v, u}] != counts[[2]int32{u, v}] {
+			k := uint64(uint32(v))<<32 | uint64(uint32(u))
+			if sortedCount(fwd, k) != sortedCount(fwd, k<<32|k>>32) {
 				return fmt.Errorf("graph: asymmetric adjacency %v", [2]int32{v, u})
 			}
 		}
 	}
-	return nil
+	return fmt.Errorf("graph: asymmetric adjacency")
+}
+
+// sortedCount returns the multiplicity of k in the ascending slice keys.
+func sortedCount(keys []uint64, k uint64) int {
+	lo, _ := slices.BinarySearch(keys, k)
+	hi, _ := slices.BinarySearch(keys, k+1)
+	return hi - lo
 }

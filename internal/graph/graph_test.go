@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -261,6 +262,37 @@ func TestRandomRegularSimple(t *testing.T) {
 	}
 	if !IsConnected(g) {
 		t.Error("random regular graph disconnected (astronomically unlikely)")
+	}
+}
+
+func TestRandomRegularDeterminism(t *testing.T) {
+	a := RandomRegular(128, 6, xrand.New(21))
+	b := RandomRegular(128, 6, xrand.New(21))
+	for v := int32(0); int(v) < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestValidateDetectsAsymmetry(t *testing.T) {
+	// Hand-corrupt a CSR: entry 0->1 with no matching 1->0. The first
+	// offending pair in vertex order must be reported deterministically.
+	g := &Graph{n: 2, off: []int64{0, 1, 1}, adj: []int32{1}}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "asymmetric adjacency [0 1]") {
+		t.Fatalf("Validate = %v, want asymmetric adjacency [0 1]", err)
+	}
+
+	out := &Graph{n: 2, off: []int64{0, 1, 2}, adj: []int32{5, 0}}
+	if err := out.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Validate = %v, want out-of-range endpoint", err)
 	}
 }
 

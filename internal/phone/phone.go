@@ -162,6 +162,34 @@ func (nt *Net) DialAvoid(r *Round, v int32) {
 	r.Out[v] = nt.G.RandomNeighborAvoid(v, &nt.rngs[v], nt.Memory[v].Links())
 }
 
+// OpenAvoid draws the open-avoid dial for v — uniform over N(v) \ l_v,
+// the §4 memory-model primitive — and records the chosen link in v's
+// memory. It returns NoDial for failed nodes and when every neighbor is
+// remembered (the RNG stream is still consumed in the latter case, as the
+// draw happens before the verdict). This is the seam-level dial the
+// memory-model and leader-election machines use from OnStep: each node
+// only ever touches its own stream and its own memory, so the dial phase
+// parallelizes without changing results.
+func (nt *Net) OpenAvoid(v int32) int32 {
+	if nt.Failed[v] {
+		return NoDial
+	}
+	u := nt.G.RandomNeighborAvoid(v, &nt.rngs[v], nt.Memory[v].Links())
+	if u >= 0 {
+		nt.Memory[v].Remember(u)
+	}
+	return u
+}
+
+// InitMemory resets every node's link memory to an empty memory of c
+// slots. The §4 algorithms start each phase with fresh memories, so a
+// machine set built over a shared Net calls this before its first step.
+func (nt *Net) InitMemory(c int) {
+	for i := range nt.Memory {
+		nt.Memory[i] = NewLinkMemory(c)
+	}
+}
+
 // DialAll has every node dial a uniformly random neighbor, in parallel, and
 // builds the incoming index.
 func (nt *Net) DialAll(r *Round) {
